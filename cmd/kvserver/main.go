@@ -1,0 +1,130 @@
+// Command kvserver runs the Memcached-like key-value store of §5.3 on a
+// simulated NVMM heap with ResPCT checkpointing, speaking the text protocol
+// on a TCP port. On SIGINT/SIGTERM it snapshots the persistent image to the
+// file given by -snapshot; a later start with the same -snapshot recovers
+// the store from it — a full crash/recovery cycle across OS processes.
+//
+// Usage:
+//
+//	kvserver [-addr :11222] [-workers 4] [-buckets 1048576] [-interval 64ms]
+//	         [-heap 2147483648] [-snapshot kv.img] [-transient]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/kv"
+	"github.com/respct/respct/internal/pmem"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11222", "listen address")
+	workers := flag.Int("workers", 4, "server worker threads")
+	buckets := flag.Int("buckets", 1<<20, "hash-table buckets")
+	interval := flag.Duration("interval", 64*time.Millisecond, "checkpoint period")
+	heapBytes := flag.Int64("heap", 2<<30, "simulated NVMM size in bytes")
+	snapshot := flag.String("snapshot", "", "snapshot file: recovered at start if present, written on shutdown")
+	transient := flag.Bool("transient", false, "run the non-fault-tolerant store instead")
+	flag.Parse()
+
+	if *transient {
+		h := pmem.New(pmem.NVMMConfig(*heapBytes))
+		srv, err := kv.NewServer(kv.NewTransientStore(h), *workers, *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "listen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("transient kvserver listening on", srv.Addr())
+		waitForSignal()
+		srv.Close()
+		return
+	}
+
+	var h *pmem.Heap
+	var rt *core.Runtime
+	var store *kv.RespctStore
+	recovered := false
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			h2, err := pmem.Open(f, pmem.NVMMConfig(0))
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "snapshot open:", err)
+				os.Exit(1)
+			}
+			rt2, rep, err := core.Recover(h2, core.Config{Threads: *workers}, 4)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "recover:", err)
+				os.Exit(1)
+			}
+			st, err := kv.OpenRespctStore(rt2, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "open store:", err)
+				os.Exit(1)
+			}
+			h, rt, store = h2, rt2, st
+			recovered = true
+			fmt.Printf("recovered from %s: failed epoch %d, %d cells scanned, %d rolled back, %v\n",
+				*snapshot, rep.FailedEpoch, rep.CellsScanned, rep.CellsRolledBack, rep.Duration.Round(time.Millisecond))
+		}
+	}
+	if !recovered {
+		h = pmem.New(pmem.NVMMConfig(*heapBytes))
+		var err error
+		rt, err = core.NewRuntime(h, core.Config{Threads: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runtime:", err)
+			os.Exit(1)
+		}
+		store, err = kv.NewRespctStore(rt, 0, *buckets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "store:", err)
+			os.Exit(1)
+		}
+		rt.CheckpointIdle() // the empty store itself is durable from here on
+	}
+
+	ck := rt.StartCheckpointer(*interval)
+	srv, err := kv.NewServer(store, *workers, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ResPCT kvserver listening on %s (checkpoint every %v)\n", srv.Addr(), *interval)
+
+	waitForSignal()
+	fmt.Println("shutting down...")
+	srv.Close()
+	ck.Stop()
+	if *snapshot != "" {
+		// One final checkpoint so the snapshot holds the latest state,
+		// then write the persistent image out.
+		for i := 0; i < rt.Threads(); i++ {
+			rt.Thread(i).CheckpointAllow()
+		}
+		rt.Checkpoint()
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snapshot create:", err)
+			os.Exit(1)
+		}
+		if err := h.Snapshot(f); err != nil {
+			fmt.Fprintln(os.Stderr, "snapshot write:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("persistent image written to", *snapshot)
+	}
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+}

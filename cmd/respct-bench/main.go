@@ -1,0 +1,133 @@
+// Command respct-bench regenerates the paper's evaluation (§5): one
+// sub-command per figure/table.
+//
+// Usage:
+//
+//	respct-bench [flags] <fig8|fig9|fig10|fig11|fig12|fig13|fig14|rpstudy|table3|all>
+//
+// Flags:
+//
+//	-scale quick|paper   problem sizes (default quick)
+//	-duration d          per-configuration measurement time
+//	-threads list        comma-separated thread counts (e.g. 1,4,16,64)
+//	-interval d          checkpoint period (default 64ms at paper scale)
+//	-csv dir             also write raw fig8/fig9 results as CSV into dir
+//	-v                   progress logging to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/respct/respct/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "problem scale: quick or paper")
+	durFlag := flag.Duration("duration", 0, "measurement duration per configuration (0 = scale default)")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (empty = scale default)")
+	intervalFlag := flag.Duration("interval", 0, "checkpoint period (0 = scale default)")
+	verbose := flag.Bool("v", false, "log progress to stderr")
+	csvDir := flag.String("csv", "", "directory to also write raw fig8/fig9 results as CSV")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var s bench.Scale
+	var as bench.AppScale
+	var ks bench.KVScale
+	switch *scaleFlag {
+	case "quick":
+		s, as, ks = bench.QuickScale(), bench.QuickAppScale(), bench.QuickKVScale()
+	case "paper":
+		s, as, ks = bench.PaperScale(), bench.PaperAppScale(), bench.PaperKVScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *durFlag > 0 {
+		s.Duration = *durFlag
+	}
+	if *intervalFlag > 0 {
+		s.Interval = *intervalFlag
+		as.Interval = *intervalFlag
+		ks.Interval = *intervalFlag
+	}
+	if *threadsFlag != "" {
+		var tcs []int
+		for _, f := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad thread count %q\n", f)
+				os.Exit(2)
+			}
+			tcs = append(tcs, n)
+		}
+		s.ThreadCounts = tcs
+	}
+
+	var log func(string)
+	if *verbose {
+		log = func(msg string) { fmt.Fprintln(os.Stderr, time.Now().Format("15:04:05"), msg) }
+	}
+
+	run := func(name string) {
+		writeCSV := func(base string, results []bench.Result) {
+			if *csvDir == "" {
+				return
+			}
+			f, err := os.Create(filepath.Join(*csvDir, base))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				return
+			}
+			defer f.Close()
+			if err := bench.WriteCSV(f, results); err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+			}
+		}
+		switch name {
+		case "fig8":
+			out, results := bench.Fig8R(s, nil, log)
+			fmt.Print(out)
+			writeCSV("fig8.csv", results)
+		case "fig9":
+			out, results := bench.Fig9R(s, nil, log)
+			fmt.Print(out)
+			writeCSV("fig9.csv", results)
+		case "fig10":
+			fmt.Print(bench.Fig10(s, log))
+		case "fig11":
+			fmt.Print(bench.Fig11(s, log))
+		case "fig12":
+			fmt.Print(bench.Fig12(s, nil, log))
+		case "fig13":
+			fmt.Print(bench.Fig13(as, log))
+		case "fig14":
+			fmt.Print(bench.Fig14(ks, log))
+		case "rpstudy":
+			fmt.Print(bench.RPPlacementStudy(as, log))
+		case "table3":
+			fmt.Print(bench.Table3())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if flag.Arg(0) == "all" {
+		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "rpstudy", "table3"} {
+			run(name)
+		}
+		return
+	}
+	run(flag.Arg(0))
+}

@@ -1,0 +1,89 @@
+// Command respct-crash soaks the ResPCT runtime against simulated crashes:
+// concurrent workloads run over a chaos-mode heap (random cache-line
+// evictions), the machine dies at a random moment, recovery runs, and the
+// recovered state is verified against the logical snapshot certified by the
+// last completed checkpoint — the empirical counterpart of the paper's §4
+// proof of buffered durable linearizability.
+//
+// Usage:
+//
+//	respct-crash [-seeds n] [-threads n] [-interval d] [-evict n] [-structure map|queue|both]
+//	respct-crash -war     # demonstrate the §3.3.2 WAR-without-logging hazard
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/respct/respct/internal/crash"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 16, "number of seeded crash runs per structure")
+	threads := flag.Int("threads", 4, "worker threads")
+	interval := flag.Duration("interval", 4*time.Millisecond, "checkpoint period")
+	evict := flag.Int("evict", 64, "chaos evictor probe rate")
+	structure := flag.String("structure", "both", "map, queue or both")
+	war := flag.Bool("war", false, "run the WAR-violation demonstration instead")
+	flag.Parse()
+
+	if *war {
+		detected, err := crash.WARViolationDetected(time.Now().UnixNano() % 1000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if detected {
+			fmt.Println("WAR violation demonstrated: a counter updated with plain stores (no InCLL)")
+			fmt.Println("recovered to a value that never existed at any checkpoint. Rule (ii) of")
+			fmt.Println("paper §3.3.2 — log everything with a write-after-read dependency — is load-bearing.")
+		} else {
+			fmt.Println("the torn update happened not to persist this run; try again")
+		}
+		return
+	}
+
+	cfg := crash.MapSoakConfig{
+		Threads:      *threads,
+		Buckets:      1024,
+		KeySpace:     4096,
+		OpsPerThread: 1 << 30,
+		EvictRate:    *evict,
+		Interval:     *interval,
+		HeapBytes:    256 << 20,
+	}
+	failures := 0
+	runOne := func(kind string, seed int64) {
+		cfg.Seed = seed
+		var rep *crash.SoakReport
+		var err error
+		if kind == "map" {
+			rep, err = crash.MapSoak(cfg)
+		} else {
+			rep, err = crash.QueueSoak(cfg)
+		}
+		if err != nil {
+			failures++
+			fmt.Printf("%-5s seed %3d  FAIL: %v\n", kind, seed, err)
+			return
+		}
+		fmt.Printf("%-5s seed %3d  OK: crashed epoch %d after %d checkpoints, recovered %d items == certified\n",
+			kind, seed, rep.FailedEpoch, rep.Checkpoints, rep.RecoveredKeys)
+	}
+
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
+		if *structure == "map" || *structure == "both" {
+			runOne("map", seed)
+		}
+		if *structure == "queue" || *structure == "both" {
+			runOne("queue", seed)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d FAILURES\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall crash soaks recovered exactly to their certified checkpoints")
+}

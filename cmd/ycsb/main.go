@@ -1,0 +1,81 @@
+// Command ycsb load-tests a kvserver with YCSB-style workloads (the
+// client side of the paper's Fig. 14 experiment).
+//
+// Usage:
+//
+//	ycsb [-addr host:port] [-records 1000000] [-ops 1000000] [-clients 32]
+//	     [-value 100] [-mix 90|50|10] [-uniform] [-skipload]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/respct/respct/internal/kv"
+	"github.com/respct/respct/internal/ycsb"
+)
+
+type tcpExecutor struct{ clients []*kv.Client }
+
+func (e *tcpExecutor) Set(cli int, key string, value []byte) error {
+	return e.clients[cli].Set(key, value)
+}
+
+func (e *tcpExecutor) Get(cli int, key string) ([]byte, bool, error) {
+	return e.clients[cli].Get(key)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11222", "kvserver address")
+	records := flag.Int("records", 1_000_000, "key space size (load phase)")
+	ops := flag.Int("ops", 1_000_000, "run phase operations")
+	clients := flag.Int("clients", 32, "concurrent client connections")
+	valueSize := flag.Int("value", 100, "value size in bytes")
+	mix := flag.Int("mix", 90, "read percentage: 90, 50 or 10")
+	uniform := flag.Bool("uniform", false, "uniform instead of zipfian keys")
+	skipLoad := flag.Bool("skipload", false, "skip the load phase")
+	flag.Parse()
+
+	w := ycsb.Workload{
+		Name:       fmt.Sprintf("%dR/%dW", *mix, 100-*mix),
+		Records:    *records,
+		Operations: *ops,
+		ReadProp:   float64(*mix) / 100,
+		ValueSize:  *valueSize,
+		Zipfian:    !*uniform,
+		Clients:    *clients,
+		Seed:       42,
+	}
+
+	ex := &tcpExecutor{clients: make([]*kv.Client, *clients)}
+	for i := range ex.clients {
+		c, err := kv.Dial(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dial %s: %v\n", *addr, err)
+			os.Exit(1)
+		}
+		ex.clients[i] = c
+		defer c.Close()
+	}
+
+	if !*skipLoad {
+		res, err := ycsb.Load(w, ex)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("load : %d records in %v (%.1f kops/s)\n",
+			res.Operations, res.Duration.Round(time.Millisecond), res.KopsPerSec())
+	}
+	res, err := ycsb.Run(w, ex)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("run  : %s  %d ops (%d reads, %d updates) in %v\n",
+		w.Name, res.Operations, res.Reads, res.Updates, res.Duration.Round(time.Millisecond))
+	fmt.Printf("       %.1f kops/s   p50 %v   p99 %v   max %v\n",
+		res.KopsPerSec(), res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond), res.Max.Round(time.Microsecond))
+}

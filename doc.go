@@ -1,0 +1,31 @@
+// Package respct is a from-scratch Go reproduction of "ResPCT: Fast
+// Checkpointing in Non-volatile Memory for Multi-threaded Applications"
+// (Khorguani, Ropars, De Palma — EuroSys 2022), including the simulated
+// NVMM substrate it runs on, the baseline systems it is compared against,
+// and the full evaluation harness that regenerates every figure and table
+// of the paper's §5.
+//
+// This package is the public API: create a simulated NVMM Heap (NewHeap),
+// format it for ResPCT (New) or reattach to a previous execution (Recover),
+// obtain per-worker Thread handles, allocate InCLL-managed persistent data
+// through the Arena, and mark restart points with Thread.RP. Persistent
+// Map, Queue and SkipList structures are included. See the examples/
+// directory and the README for walkthroughs.
+//
+// The implementation lives under internal/:
+//
+//	internal/pmem        simulated NVMM (volatile caches, PCSO, clwb/sfence,
+//	                     eviction, crash/recovery, latency model)
+//	internal/core        the ResPCT runtime: InCLL, epochs, restart points,
+//	                     checkpointing, crash-consistent allocation, recovery
+//	internal/structures  the evaluated queue and hash map in every flavour
+//	internal/baselines   PMThreads-, Montage-, Clobber-NVM-, Trinity/Quadra-,
+//	                     Dalí-, SOFT- and Friedman-style comparators
+//	internal/apps        Dedup, Swaptions, MatMul, Linear Regression
+//	internal/kv          the Memcached-like KV store; internal/ycsb its load
+//	internal/bench       the figure/table harness;  internal/crash the
+//	                     crash-consistency soaks
+//
+// The benchmarks in bench_test.go at this root cover each figure/table with
+// testing.B entry points; cmd/respct-bench runs the full sweeps.
+package respct

@@ -1,0 +1,3 @@
+module github.com/respct/respct
+
+go 1.24

@@ -1,0 +1,338 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+func appRuntime(t testing.TB, threads int, size int64) *core.Runtime {
+	t.Helper()
+	if size == 0 {
+		size = 256 << 20
+	}
+	h := pmem.New(pmem.Config{Size: size})
+	rt, err := core.NewRuntime(h, core.Config{Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+func TestMatMulMatchesTransient(t *testing.T) {
+	const n, threads, seed = 48, 3, 7
+	want := MatMulTransient(n, threads, seed)
+	rt := appRuntime(t, threads, 0)
+	m, err := NewMatMul(rt, 0, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if got := m.Checksum(); !almostEqual(got, want) {
+		t.Fatalf("respct checksum %v, transient %v", got, want)
+	}
+	if !m.Done() {
+		t.Fatal("not marked done")
+	}
+}
+
+func TestMatMulResumesAfterCrash(t *testing.T) {
+	const n, threads, seed = 40, 2, 9
+	want := MatMulTransient(n, threads, seed)
+
+	rt := appRuntime(t, threads, 0)
+	m, err := NewMatMul(rt, 0, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckpointIdle()
+	ck := rt.StartCheckpointer(2 * time.Millisecond)
+	// Run in the background and crash partway through.
+	done := make(chan struct{})
+	go func() { m.Run(); close(done) }()
+	time.Sleep(8 * time.Millisecond)
+	rt.Heap().Crash() // workers keep running into the dead heap; harmless
+	<-done
+	ck.Stop()
+
+	rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: threads}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := OpenMatMul(rt2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Run() // resume from the recovered row counters
+	if got := m2.Checksum(); !almostEqual(got, want) {
+		t.Fatalf("post-crash checksum %v, want %v", got, want)
+	}
+}
+
+func TestLRMatchesTransient(t *testing.T) {
+	const n, threads, seed = 20000, 4, 5
+	want := LRTransient(n, threads, seed)
+	rt := appRuntime(t, threads, 0)
+	l, err := NewLR(rt, 0, n, 1000, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Run()
+	got := l.Result()
+	if !almostEqual(got.SX, want.SX) || !almostEqual(got.SXY, want.SXY) {
+		t.Fatalf("sums differ: %+v vs %+v", got, want)
+	}
+	if !almostEqual(got.Slope(), want.Slope()) {
+		t.Fatalf("slope %v vs %v", got.Slope(), want.Slope())
+	}
+	// The synthetic data has slope ~3.5.
+	if got.Slope() < 3.0 || got.Slope() > 4.0 {
+		t.Fatalf("implausible slope %v", got.Slope())
+	}
+}
+
+func TestLRResumesAfterCrash(t *testing.T) {
+	const n, threads, seed = 50000, 2, 11
+	want := LRTransient(n, threads, seed)
+
+	rt := appRuntime(t, threads, 0)
+	l, err := NewLR(rt, 0, n, 500, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckpointIdle()
+	ck := rt.StartCheckpointer(time.Millisecond)
+	done := make(chan struct{})
+	go func() { l.Run(); close(done) }()
+	time.Sleep(5 * time.Millisecond)
+	rt.Heap().Crash()
+	<-done
+	ck.Stop()
+
+	rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: threads}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLR(rt2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Run()
+	got := l2.Result()
+	if !almostEqual(got.SXY, want.SXY) || !almostEqual(got.SYY, want.SYY) {
+		t.Fatalf("post-crash sums differ: %+v vs %+v", got, want)
+	}
+}
+
+func TestSwaptionsMatchesTransient(t *testing.T) {
+	const nSw, trials, threads, seed = 16, 400, 4, 3
+	want := SwaptionsTransient(nSw, trials, threads, seed)
+	rt := appRuntime(t, threads, 0)
+	s, err := NewSwaptions(rt, 0, nSw, trials, 100, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if got := s.Checksum(); !almostEqual(got, want) {
+		t.Fatalf("checksum %v vs %v", got, want)
+	}
+}
+
+func TestSwaptionsResumesAfterCrash(t *testing.T) {
+	const nSw, trials, threads, seed = 8, 3000, 2, 13
+	want := SwaptionsTransient(nSw, trials, threads, seed)
+
+	rt := appRuntime(t, threads, 0)
+	s, err := NewSwaptions(rt, 0, nSw, trials, 200, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckpointIdle()
+	ck := rt.StartCheckpointer(time.Millisecond)
+	done := make(chan struct{})
+	go func() { s.Run(); close(done) }()
+	time.Sleep(5 * time.Millisecond)
+	rt.Heap().Crash()
+	<-done
+	ck.Stop()
+
+	rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: threads}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenSwaptions(rt2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run()
+	if got := s2.Checksum(); !almostEqual(got, want) {
+		t.Fatalf("post-crash checksum %v vs %v", got, want)
+	}
+}
+
+func TestDedupMatchesTransient(t *testing.T) {
+	const nChunks, unique, threads, seed = 600, 150, 4, 17
+	want := DedupTransient(nChunks, unique, threads, seed)
+	rt := appRuntime(t, threads, 0)
+	d, err := NewDedup(rt, 0, nChunks, unique, 256, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Run()
+	if got.Unique != want.Unique {
+		t.Fatalf("unique %d vs %d", got.Unique, want.Unique)
+	}
+	if got.TotalOutput != want.TotalOutput {
+		t.Fatalf("output %d vs %d", got.TotalOutput, want.TotalOutput)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d chunks unaccounted", d.Remaining())
+	}
+}
+
+func TestDedupWithCheckpointsAndCrash(t *testing.T) {
+	const nChunks, unique, threads, seed = 1200, 300, 4, 23
+	want := DedupTransient(nChunks, unique, threads, seed)
+
+	rt := appRuntime(t, threads, 0)
+	d, err := NewDedup(rt, 0, nChunks, unique, 512, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckpointIdle()
+	ck := rt.StartCheckpointer(2 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { d.Run(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	rt.Heap().Crash()
+	<-done
+	ck.Stop()
+
+	rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: threads}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDedup(rt2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d2.Run() // replays only the chunks lost in the crash
+	if got.Unique != want.Unique {
+		t.Fatalf("unique %d vs %d", got.Unique, want.Unique)
+	}
+	if got.TotalOutput != want.TotalOutput {
+		t.Fatalf("output %d vs %d", got.TotalOutput, want.TotalOutput)
+	}
+}
+
+func TestDedupRequiresThreeThreads(t *testing.T) {
+	rt := appRuntime(t, 2, 0)
+	if _, err := NewDedup(rt, 0, 10, 5, 16, 1); err == nil {
+		t.Fatal("accepted 2 threads")
+	}
+}
+
+func TestSplitRange(t *testing.T) {
+	covered := make([]bool, 10)
+	for th := 0; th < 3; th++ {
+		lo, hi := splitRange(10, 3, th)
+		for i := lo; i < hi; i++ {
+			if covered[i] {
+				t.Fatalf("index %d covered twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+func TestLRBatchSizesAgree(t *testing.T) {
+	// Batch granularity must not change the result, only the RP rate.
+	const n, threads, seed = 5000, 2, 29
+	want := LRTransient(n, threads, seed)
+	for _, batch := range []int{1, 7, 1000} {
+		rt := appRuntime(t, threads, 0)
+		l, err := NewLR(rt, 0, n, batch, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Run()
+		if got := l.Result(); !almostEqual(got.SXY, want.SXY) {
+			t.Fatalf("batch %d: SXY %v vs %v", batch, got.SXY, want.SXY)
+		}
+	}
+}
+
+func TestMatMulRunTwiceIsIdempotent(t *testing.T) {
+	const n, threads, seed = 24, 2, 3
+	rt := appRuntime(t, threads, 0)
+	m, err := NewMatMul(rt, 0, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	first := m.Checksum()
+	m.Run() // Done flag short-circuits; nothing recomputed or corrupted
+	if got := m.Checksum(); got != first {
+		t.Fatalf("second Run changed the checksum: %v vs %v", got, first)
+	}
+}
+
+func TestLRInterceptPlausible(t *testing.T) {
+	res := LRTransient(50000, 2, 5)
+	// Synthetic data: y = 3.5x + 11 + noise in [-1, 1).
+	if ic := res.Intercept(); ic < 9 || ic > 13 {
+		t.Fatalf("intercept %v implausible", ic)
+	}
+}
+
+func TestSwaptionsDoneAfterRun(t *testing.T) {
+	rt := appRuntime(t, 2, 0)
+	s, err := NewSwaptions(rt, 0, 4, 100, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Fatal("done before running")
+	}
+	s.Run()
+	if !s.Done() {
+		t.Fatal("not done after running")
+	}
+	first := s.Checksum()
+	s.Run()
+	if s.Checksum() != first {
+		t.Fatal("re-run changed the result")
+	}
+}
+
+func TestDedupResumeAfterCompletion(t *testing.T) {
+	const nChunks, unique, threads, seed = 300, 80, 3, 31
+	rt := appRuntime(t, threads, 0)
+	d, err := NewDedup(rt, 0, nChunks, unique, 128, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Run()
+	// A second Run finds nothing to replay and returns the same result.
+	got := d.Run()
+	if got != want {
+		t.Fatalf("re-run diverged: %+v vs %+v", got, want)
+	}
+}

@@ -1,0 +1,367 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/structures"
+)
+
+// Dedup (Parsec): a data-processing pipeline — produce chunks, deduplicate
+// them against a hash table, "compress" the unique ones, write the results —
+// whose stages synchronise through bounded queues built on condition
+// variables. It is the paper's heavily lock-based application and the
+// showcase for the Fig. 7 checkpoint_allow/checkpoint_prevent protocol.
+//
+// The pipeline has three stages:
+//
+//	producer (1 thread) -> dedup+compress workers (threads-2) -> writer (1)
+//
+// Chunk i's content class is i % uniqueChunks, so the duplicate ratio is
+// controlled; compression cost is simulated compute. The persistent variant
+// keeps the dedup table (a RespctMap), the per-chunk result array and a done
+// flag in NVMM; recovery re-derives the missing chunks from the result array
+// and replays only those, idempotently.
+
+// DedupResult summarises a dedup run.
+type DedupResult struct {
+	Chunks      int
+	Unique      int
+	TotalOutput uint64
+}
+
+func chunkHash(seed uint64, class int) uint64 {
+	h := xorshift64(seed ^ uint64(class)*0x100000001B3)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func compressedSize(h uint64) uint64 { return 100 + h%156 }
+
+const dupRefSize = 8 // bytes written for a duplicate: a reference
+
+// dedupCompute simulates the compression cost of a unique chunk.
+func dedupCompute() { pmem.Spin(400) }
+
+// DedupTransient runs the transient pipeline. It uses the same
+// mutex+condition-variable bounded queues as the persistent variant (like
+// the pthread queues of the Parsec original), so the comparison measures
+// persistence cost rather than queue implementation differences.
+func DedupTransient(nChunks, uniqueChunks, threads int, seed uint64) DedupResult {
+	if threads < 3 {
+		threads = 3
+	}
+	chunkQ := newBoundedQueue(64)
+	resultQ := newBoundedQueue(64)
+	seen := make(map[uint64]int)
+	var seenMu sync.Mutex
+
+	var workers sync.WaitGroup
+	for w := 0; w < threads-2; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for {
+				v, ok := chunkQ.pop(nil)
+				if !ok {
+					return
+				}
+				id := int(v - 1)
+				h := chunkHash(seed, id%uniqueChunks)
+				seenMu.Lock()
+				owner, present := seen[h]
+				if !present {
+					seen[h] = id
+					owner = id
+				}
+				seenMu.Unlock()
+				var size uint64
+				if owner == id {
+					dedupCompute()
+					size = compressedSize(h)
+				} else {
+					size = dupRefSize
+				}
+				resultQ.push(nil, uint64(id)<<16|size)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < nChunks; i++ {
+			chunkQ.push(nil, uint64(i)+1)
+		}
+		chunkQ.close()
+		workers.Wait()
+		resultQ.close()
+	}()
+	res := DedupResult{Chunks: nChunks}
+	sizes := make([]uint64, nChunks)
+	for {
+		v, ok := resultQ.pop(nil)
+		if !ok {
+			break
+		}
+		sizes[v>>16] = v & 0xFFFF
+	}
+	for _, s := range sizes {
+		res.TotalOutput += s
+		if s != dupRefSize {
+			res.Unique++
+		}
+	}
+	return res
+}
+
+// boundedQueue is a cond-var ring buffer whose waits follow the paper's
+// Fig. 7 protocol: an RP immediately before the critical section and
+// allow/prevent around the wait.
+type boundedQueue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []uint64
+	head     int
+	count    int
+	closed   bool
+}
+
+func newBoundedQueue(capacity int) *boundedQueue {
+	q := &boundedQueue{buf: make([]uint64, capacity)}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+const rpDedupQueue uint64 = 0x4464757051
+
+// push inserts v, blocking while full. t may be nil (transient use).
+func (q *boundedQueue) push(t *core.Thread, v uint64) {
+	if t != nil {
+		t.RP(rpDedupQueue)
+	}
+	q.mu.Lock()
+	for q.count == len(q.buf) {
+		if t != nil {
+			t.CondWait(q.notFull, &q.mu)
+		} else {
+			q.notFull.Wait()
+		}
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+}
+
+// pop removes a value, blocking while empty; ok=false after close+drain.
+func (q *boundedQueue) pop(t *core.Thread) (uint64, bool) {
+	if t != nil {
+		t.RP(rpDedupQueue)
+	}
+	q.mu.Lock()
+	for q.count == 0 && !q.closed {
+		if t != nil {
+			t.CondWait(q.notEmpty, &q.mu)
+		} else {
+			q.notEmpty.Wait()
+		}
+	}
+	if q.count == 0 {
+		q.mu.Unlock()
+		return 0, false
+	}
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.mu.Unlock()
+	q.notFull.Signal()
+	return v, true
+}
+
+func (q *boundedQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+}
+
+const rpDedupChunk uint64 = 0x446475704368756e
+
+// DedupRespct is the persistent pipeline.
+type DedupRespct struct {
+	rt      *core.Runtime
+	table   *structures.RespctMap
+	nChunks int
+	unique  int
+	seed    uint64
+	results pmem.Addr // InCLL cell array: result size per chunk, 0 = not done
+	desc    pmem.Addr
+}
+
+func (d *DedupRespct) resultCell(i int) core.InCLL { return core.Cell(d.results, i) }
+
+// NewDedup creates the persistent pipeline state: the dedup table under
+// rootIdx, the descriptor under rootIdx+1. Construct before starting the
+// checkpointer.
+func NewDedup(rt *core.Runtime, rootIdx, nChunks, uniqueChunks, buckets int, seed uint64) (*DedupRespct, error) {
+	if rt.Threads() < 3 {
+		return nil, fmt.Errorf("apps: dedup needs at least 3 threads")
+	}
+	table, err := structures.NewRespctMap(rt, rootIdx, buckets)
+	if err != nil {
+		return nil, err
+	}
+	sys := rt.Sys()
+	desc := rt.Arena().Alloc(sys, 0, 4)
+	// The per-chunk results are InCLL cells, not raw words: a result's value
+	// depends on the dedup table's state (who owned the hash first), so a
+	// result written in a crashed epoch must roll back together with the
+	// table — the write-after-read rule of §3.3.2 applied transitively.
+	results := rt.Arena().AllocCells(sys, nChunks)
+	if desc == pmem.NilAddr || results == pmem.NilAddr {
+		return nil, fmt.Errorf("apps: heap exhausted for dedup state")
+	}
+	d := &DedupRespct{rt: rt, table: table, nChunks: nChunks, unique: uniqueChunks, seed: seed, results: results, desc: desc}
+	for i := 0; i < nChunks; i++ {
+		sys.Init(d.resultCell(i), 0)
+	}
+	sys.StoreTracked(desc, uint64(nChunks))
+	sys.StoreTracked(desc+8, uint64(uniqueChunks))
+	sys.StoreTracked(desc+16, seed)
+	sys.StoreTracked(desc+24, uint64(results))
+	sys.Update(rt.RootInCLL(rootIdx+1), uint64(desc))
+	return d, nil
+}
+
+// OpenDedup reattaches after recovery.
+func OpenDedup(rt *core.Runtime, rootIdx int) (*DedupRespct, error) {
+	table, err := structures.OpenRespctMap(rt, rootIdx)
+	if err != nil {
+		return nil, err
+	}
+	desc := rt.ReadAddr(rt.RootInCLL(rootIdx + 1))
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("apps: no dedup descriptor under root %d", rootIdx+1)
+	}
+	h := rt.Heap()
+	return &DedupRespct{
+		rt:      rt,
+		table:   table,
+		nChunks: int(h.Load64(desc)),
+		unique:  int(h.Load64(desc + 8)),
+		seed:    h.Load64(desc + 16),
+		results: pmem.Addr(h.Load64(desc + 24)),
+	}, nil
+}
+
+// Run executes (or resumes) the pipeline: only chunks without a persisted
+// result are replayed, and replay is idempotent (the dedup table names a
+// canonical owner per content hash, and table and result array roll back to
+// the same checkpoint together).
+func (d *DedupRespct) Run() DedupResult {
+	rt := d.rt
+	threads := rt.Threads()
+	chunkQ := newBoundedQueue(64)
+	resultQ := newBoundedQueue(64)
+
+	var wg sync.WaitGroup
+
+	// Producer: thread 0 — replays exactly the chunks with no result.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := rt.Thread(0)
+		for i := 0; i < d.nChunks; i++ {
+			if rt.Read(d.resultCell(i)) != 0 {
+				continue // already recorded
+			}
+			chunkQ.push(t, uint64(i)+1) // ids shifted: 0 is the close marker
+		}
+		chunkQ.close()
+		t.CheckpointAllow()
+	}()
+
+	// Dedup + compress workers: threads 1..threads-2.
+	var workers sync.WaitGroup
+	for w := 1; w <= threads-2; w++ {
+		wg.Add(1)
+		workers.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer workers.Done()
+			t := rt.Thread(w)
+			for {
+				v, ok := chunkQ.pop(t)
+				if !ok {
+					break
+				}
+				id := int(v - 1)
+				hash := chunkHash(d.seed, id%d.unique)
+				owner, _ := d.table.InsertIfAbsent(w, hash, uint64(id)+1)
+				var size uint64
+				if owner == uint64(id)+1 {
+					dedupCompute()
+					size = compressedSize(hash)
+				} else {
+					size = dupRefSize
+				}
+				t.RP(rpDedupChunk) // after the logical block (paper §5.3)
+				resultQ.push(t, uint64(id)<<16|size)
+			}
+			t.CheckpointAllow()
+		}(w)
+	}
+	go func() {
+		workers.Wait()
+		resultQ.close()
+	}()
+
+	// Writer: last thread — records each chunk's output size.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := rt.Thread(threads - 1)
+		for {
+			v, ok := resultQ.pop(t)
+			if !ok {
+				break
+			}
+			id := int(v >> 16)
+			size := v & 0xFFFF
+			t.Update(d.resultCell(id), size)
+			t.RP(rpDedupChunk)
+		}
+		t.CheckpointAllow()
+	}()
+
+	wg.Wait()
+	return d.Result()
+}
+
+// Result folds the persistent result array.
+func (d *DedupRespct) Result() DedupResult {
+	res := DedupResult{Chunks: d.nChunks}
+	for i := 0; i < d.nChunks; i++ {
+		s := d.rt.Read(d.resultCell(i))
+		res.TotalOutput += s
+		if s != 0 && s != dupRefSize {
+			res.Unique++
+		}
+	}
+	return res
+}
+
+// Remaining counts chunks without a recorded result (0 when complete).
+func (d *DedupRespct) Remaining() int {
+	n := 0
+	for i := 0; i < d.nChunks; i++ {
+		if d.rt.Read(d.resultCell(i)) == 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// Swaptions (Parsec): price a portfolio of swaptions by Monte-Carlo
+// simulation — a lockless, data-parallel workload (each thread owns a slice
+// of the portfolio). The simulation here is a compact HJM-flavoured
+// random-walk pricer with a deterministic per-trial PRNG, so transient and
+// persistent runs agree bit-for-bit.
+
+// swaptionPayoff simulates one Monte-Carlo trial for swaption s.
+func swaptionPayoff(seed uint64, s, trial int) float64 {
+	x := xorshift64(seed ^ uint64(s)*0x9E3779B97F4A7C15 ^ uint64(trial)*0xC2B2AE3D27D4EB4F)
+	rate := 0.02 + float64(x%1000)/25000.0
+	drift := 0.0
+	for step := 0; step < 16; step++ {
+		x = xorshift64(x)
+		drift += (float64(x%2001) - 1000.0) / 1e6
+	}
+	payoff := math.Max(0, rate+drift-0.025)
+	return payoff * 100.0
+}
+
+// SwaptionsTransient prices nSwaptions with trials each and returns the
+// price vector's sum.
+func SwaptionsTransient(nSwaptions, trials, threads int, seed uint64) float64 {
+	prices := make([]float64, nSwaptions)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			lo, hi := splitRange(nSwaptions, threads, th)
+			for s := lo; s < hi; s++ {
+				sum := 0.0
+				for trial := 0; trial < trials; trial++ {
+					sum += swaptionPayoff(seed, s, trial)
+				}
+				prices[s] = sum / float64(trials)
+			}
+		}(th)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range prices {
+		total += p
+	}
+	return total
+}
+
+const rpSwaptionBatch uint64 = 0x53777042617463
+
+// per-swaption persistent cells: accumulated sum + completed trials
+const swCellsPer = 2
+
+// SwaptionsRespct is the persistent pricer: each swaption's accumulated
+// payoff and completed-trial count are InCLL cells (WAR across restart
+// points), with an RP after each batch of trials.
+type SwaptionsRespct struct {
+	rt     *core.Runtime
+	n      int
+	trials int
+	batch  int
+	seed   uint64
+	desc   pmem.Addr
+	cells  pmem.Addr
+}
+
+// NewSwaptions creates a persistent pricer; construct before starting the
+// checkpointer.
+func NewSwaptions(rt *core.Runtime, rootIdx, nSwaptions, trials, batch int, seed uint64) (*SwaptionsRespct, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	sys := rt.Sys()
+	desc := rt.Arena().Alloc(sys, 1, 5)
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("apps: heap exhausted for Swaptions descriptor")
+	}
+	cells := rt.Arena().AllocCells(sys, nSwaptions*swCellsPer)
+	if cells == pmem.NilAddr {
+		return nil, fmt.Errorf("apps: heap exhausted for %d swaptions", nSwaptions)
+	}
+	s := &SwaptionsRespct{rt: rt, n: nSwaptions, trials: trials, batch: batch, seed: seed, desc: desc, cells: cells}
+	sys.Init(core.Cell(desc, 0), 0)
+	for i := 0; i < nSwaptions; i++ {
+		sys.InitFloat(s.sumCell(i), 0)
+		sys.Init(s.trialCell(i), 0)
+	}
+	raw := core.RawBase(desc, 1)
+	sys.StoreTracked(raw, uint64(nSwaptions))
+	sys.StoreTracked(raw+8, uint64(trials))
+	sys.StoreTracked(raw+16, uint64(batch))
+	sys.StoreTracked(raw+24, seed)
+	sys.StoreTracked(raw+32, uint64(cells))
+	sys.Update(rt.RootInCLL(rootIdx), uint64(desc))
+	return s, nil
+}
+
+// OpenSwaptions reattaches after recovery.
+func OpenSwaptions(rt *core.Runtime, rootIdx int) (*SwaptionsRespct, error) {
+	desc := rt.ReadAddr(rt.RootInCLL(rootIdx))
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("apps: no Swaptions under root %d", rootIdx)
+	}
+	h := rt.Heap()
+	raw := core.RawBase(desc, 1)
+	return &SwaptionsRespct{
+		rt:     rt,
+		n:      int(h.Load64(raw)),
+		trials: int(h.Load64(raw + 8)),
+		batch:  int(h.Load64(raw + 16)),
+		seed:   h.Load64(raw + 24),
+		desc:   desc,
+		cells:  pmem.Addr(h.Load64(raw + 32)),
+	}, nil
+}
+
+func (s *SwaptionsRespct) doneCell() core.InCLL       { return core.Cell(s.desc, 0) }
+func (s *SwaptionsRespct) sumCell(i int) core.InCLL   { return core.Cell(s.cells, i*swCellsPer) }
+func (s *SwaptionsRespct) trialCell(i int) core.InCLL { return core.Cell(s.cells, i*swCellsPer+1) }
+
+// Run executes (or resumes) the pricing with the runtime's workers.
+func (s *SwaptionsRespct) Run() {
+	if s.rt.Read(s.doneCell()) != 0 {
+		// The work is already complete: open every worker's allow window so
+		// a running checkpointer is not gated on threads that will never run.
+		for i := 0; i < s.rt.Threads(); i++ {
+			s.rt.Thread(i).CheckpointAllow()
+		}
+		return
+	}
+	threads := s.rt.Threads()
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			t := s.rt.Thread(th)
+			lo, hi := splitRange(s.n, threads, th)
+			for sw := lo; sw < hi; sw++ {
+				for trial := int(t.Read(s.trialCell(sw))); trial < s.trials; {
+					end := min(trial+s.batch, s.trials)
+					sum := 0.0
+					for ; trial < end; trial++ {
+						sum += swaptionPayoff(s.seed, sw, trial)
+					}
+					t.UpdateFloat(s.sumCell(sw), t.ReadFloat(s.sumCell(sw))+sum)
+					t.Update(s.trialCell(sw), uint64(trial))
+					t.RP(rpSwaptionBatch)
+				}
+			}
+			t.CheckpointAllow()
+		}(th)
+	}
+	wg.Wait()
+	s.rt.ExclusiveSys(func(sys *core.Thread) { sys.Update(s.doneCell(), 1) })
+}
+
+// Checksum returns the sum of the per-swaption prices.
+func (s *SwaptionsRespct) Checksum() float64 {
+	total := 0.0
+	for i := 0; i < s.n; i++ {
+		total += s.rt.ReadFloat(s.sumCell(i)) / float64(s.trials)
+	}
+	return total
+}
+
+// Done reports completion.
+func (s *SwaptionsRespct) Done() bool { return s.rt.Read(s.doneCell()) != 0 }

@@ -1,0 +1,374 @@
+// Package inclltm implements durably linearizable map and queue baselines in
+// the style of Trinity and Quadra (Ramalhete et al., PPoPP'21): like ResPCT
+// they use in-cache-line logging, so stores need no flush or fence for the
+// undo information, but unlike ResPCT every operation commits durably —
+// at operation end the modified lines are flushed, a fence is issued, and a
+// per-thread commit marker is persisted. The comparison of this package with
+// the core runtime isolates exactly the price of durable linearizability
+// versus buffered durable linearizability (paper §5.1, Quadra/Trinity
+// curves).
+//
+// Each logged word is a cell of three same-line words: record, backup, tag.
+// The tag is a globally unique operation id (thread index and per-thread
+// sequence number); recovery rolls back cells whose tag belongs to an
+// operation that never committed.
+package inclltm
+
+import (
+	"sync"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+const (
+	cellRecord = 0
+	cellBackup = 8
+	cellTag    = 16
+	cellSize   = 32
+)
+
+// txn is a thread's transaction context.
+type txn struct {
+	h       *pmem.Heap
+	f       *pmem.Flusher
+	id      uint64 // current op tag: (thread+1)<<40 | seq
+	seq     uint64
+	thread  uint64
+	commit  pmem.Addr // persistent word: last committed seq
+	touched []pmem.Addr
+}
+
+func newTxn(h *pmem.Heap, alloc *pmem.Bump, thread int) *txn {
+	c := alloc.Alloc(8)
+	if c == pmem.NilAddr {
+		panic("inclltm: heap exhausted for commit record")
+	}
+	h.Store64(c, 0)
+	t := &txn{h: h, f: h.NewFlusher(), thread: uint64(thread + 1), commit: c}
+	t.f.Persist(c)
+	return t
+}
+
+// begin opens a new operation.
+func (t *txn) begin() {
+	t.seq++
+	t.id = t.thread<<40 | t.seq
+	t.touched = t.touched[:0]
+}
+
+// update writes a logged cell: first touch per operation copies record into
+// backup and tags the cell — all in the same line, ordered by PCSO.
+func (t *txn) update(a pmem.Addr, v uint64) {
+	if t.h.Load64(a+cellTag) != t.id {
+		t.h.Store64(a+cellBackup, t.h.Load64(a+cellRecord))
+		t.h.Store64(a+cellTag, t.id)
+		t.touched = append(t.touched, a)
+	}
+	t.h.Store64(a+cellRecord, v)
+}
+
+// init initialises a fresh cell (no backup needed: the cell becomes
+// reachable only through a logged pointer update).
+func (t *txn) init(a pmem.Addr, v uint64) {
+	t.h.Store64(a+cellRecord, v)
+	t.h.Store64(a+cellBackup, v)
+	t.h.Store64(a+cellTag, t.id)
+	t.touched = append(t.touched, a)
+}
+
+func (t *txn) read(a pmem.Addr) uint64 { return t.h.Load64(a + cellRecord) }
+
+// commitOp makes the operation durable: flush modified lines, fence, persist
+// the commit marker.
+func (t *txn) commitOp() {
+	for _, a := range t.touched {
+		t.f.CLWB(a)
+	}
+	t.f.SFence()
+	t.h.Store64(t.commit, t.seq)
+	t.f.Persist(t.commit)
+}
+
+// Map is the Trinity-style hash map: bucket heads and node fields are logged
+// cells. Node payload: cell 0 next, cell 1 value, then one raw key word.
+type Map struct {
+	h       *pmem.Heap
+	alloc   *pmem.Bump
+	buckets pmem.Addr // array of cells
+	nBucket uint64
+	locks   []sync.Mutex
+	txns    []*txn
+
+	freeMu sync.Mutex
+	free   pmem.Addr
+}
+
+const nodeBytes = 2*cellSize + 8
+
+func hashMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewMap creates a Trinity-style map for `threads` workers.
+func NewMap(h *pmem.Heap, nBucket, threads int) *Map {
+	m := &Map{
+		h:       h,
+		alloc:   pmem.NewBumpAll(h),
+		nBucket: uint64(nBucket),
+		locks:   make([]sync.Mutex, nBucket),
+		txns:    make([]*txn, threads),
+	}
+	m.buckets = m.alloc.Alloc(nBucket * cellSize)
+	if m.buckets == pmem.NilAddr {
+		panic("inclltm: heap too small")
+	}
+	for i := range m.txns {
+		m.txns[i] = newTxn(h, m.alloc, i)
+	}
+	return m
+}
+
+func (m *Map) bucket(key uint64) (pmem.Addr, *sync.Mutex) {
+	b := hashMix(key) % m.nBucket
+	return m.buckets + pmem.Addr(b*cellSize), &m.locks[b]
+}
+
+func (m *Map) nodeNext(n pmem.Addr) pmem.Addr { return n }
+func (m *Map) nodeVal(n pmem.Addr) pmem.Addr  { return n + cellSize }
+func (m *Map) nodeKey(n pmem.Addr) pmem.Addr  { return n + 2*cellSize }
+
+func (m *Map) allocNode() pmem.Addr {
+	m.freeMu.Lock()
+	n := m.free
+	if n != pmem.NilAddr {
+		m.free = pmem.Addr(m.h.Load64(n))
+	}
+	m.freeMu.Unlock()
+	if n == pmem.NilAddr {
+		n = m.alloc.Alloc(nodeBytes)
+		if n == pmem.NilAddr {
+			panic("inclltm: out of memory")
+		}
+	}
+	return n
+}
+
+// Insert implements structures.Map.
+func (m *Map) Insert(th int, key, value uint64) bool {
+	t := m.txns[th]
+	t.begin()
+	head, mu := m.bucket(key)
+	mu.Lock()
+	defer mu.Unlock()
+	for n := pmem.Addr(t.read(head)); n != pmem.NilAddr; n = pmem.Addr(t.read(m.nodeNext(n))) {
+		if m.h.Load64(m.nodeKey(n)) == key {
+			t.update(m.nodeVal(n), value)
+			t.commitOp()
+			return false
+		}
+	}
+	n := m.allocNode()
+	t.init(m.nodeNext(n), t.read(head))
+	t.init(m.nodeVal(n), value)
+	m.h.Store64(m.nodeKey(n), key)
+	t.touched = append(t.touched, m.nodeKey(n))
+	t.update(head, uint64(n))
+	t.commitOp()
+	return true
+}
+
+// Remove implements structures.Map.
+func (m *Map) Remove(th int, key uint64) bool {
+	t := m.txns[th]
+	t.begin()
+	head, mu := m.bucket(key)
+	mu.Lock()
+	defer mu.Unlock()
+	prev := head
+	for n := pmem.Addr(t.read(head)); n != pmem.NilAddr; n = pmem.Addr(t.read(m.nodeNext(n))) {
+		if m.h.Load64(m.nodeKey(n)) == key {
+			t.update(prev, t.read(m.nodeNext(n)))
+			t.commitOp()
+			m.freeMu.Lock()
+			m.h.Store64(n, uint64(m.free))
+			m.free = n
+			m.freeMu.Unlock()
+			return true
+		}
+		prev = m.nodeNext(n)
+	}
+	return false
+}
+
+// Get implements structures.Map.
+func (m *Map) Get(th int, key uint64) (uint64, bool) {
+	t := m.txns[th]
+	head, mu := m.bucket(key)
+	mu.Lock()
+	defer mu.Unlock()
+	for n := pmem.Addr(t.read(head)); n != pmem.NilAddr; n = pmem.Addr(t.read(m.nodeNext(n))) {
+		if m.h.Load64(m.nodeKey(n)) == key {
+			return t.read(m.nodeVal(n)), true
+		}
+	}
+	return 0, false
+}
+
+// PerOp implements structures.Map.
+func (m *Map) PerOp(int) {}
+
+// ThreadExit implements structures.Map.
+func (m *Map) ThreadExit(int) {}
+
+// Close implements structures.Map.
+func (m *Map) Close() {}
+
+// Queue is the Quadra-style FIFO: head/tail and node next pointers are
+// logged cells; values are raw write-once words. The paper evaluates Quadra
+// with a pthread lock for fairness; this queue does the same with a mutex.
+type Queue struct {
+	h     *pmem.Heap
+	alloc *pmem.Bump
+	mu    sync.Mutex
+	desc  pmem.Addr // cell 0 head, cell 1 tail
+	txns  []*txn
+	free  pmem.Addr
+}
+
+const qnodeBytes = cellSize + 8
+
+// NewQueue creates a Quadra-style queue for `threads` workers.
+func NewQueue(h *pmem.Heap, threads int) *Queue {
+	q := &Queue{h: h, alloc: pmem.NewBumpAll(h), txns: make([]*txn, threads)}
+	q.desc = q.alloc.Alloc(2 * cellSize)
+	if q.desc == pmem.NilAddr {
+		panic("inclltm: heap too small")
+	}
+	for i := range q.txns {
+		q.txns[i] = newTxn(h, q.alloc, i)
+	}
+	return q
+}
+
+func (q *Queue) head() pmem.Addr                { return q.desc }
+func (q *Queue) tail() pmem.Addr                { return q.desc + cellSize }
+func (q *Queue) nodeNext(n pmem.Addr) pmem.Addr { return n }
+func (q *Queue) nodeVal(n pmem.Addr) pmem.Addr  { return n + cellSize }
+
+// Enqueue implements structures.Queue.
+func (q *Queue) Enqueue(th int, v uint64) {
+	t := q.txns[th]
+	t.begin()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.free
+	if n != pmem.NilAddr {
+		q.free = pmem.Addr(q.h.Load64(n))
+	} else {
+		n = q.alloc.Alloc(qnodeBytes)
+		if n == pmem.NilAddr {
+			panic("inclltm: out of memory")
+		}
+	}
+	t.init(q.nodeNext(n), 0)
+	q.h.Store64(q.nodeVal(n), v)
+	t.touched = append(t.touched, q.nodeVal(n))
+	tail := pmem.Addr(t.read(q.tail()))
+	if tail == pmem.NilAddr {
+		t.update(q.head(), uint64(n))
+	} else {
+		t.update(q.nodeNext(tail), uint64(n))
+	}
+	t.update(q.tail(), uint64(n))
+	t.commitOp()
+}
+
+// Dequeue implements structures.Queue.
+func (q *Queue) Dequeue(th int) (uint64, bool) {
+	t := q.txns[th]
+	t.begin()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := pmem.Addr(t.read(q.head()))
+	if n == pmem.NilAddr {
+		return 0, false
+	}
+	v := q.h.Load64(q.nodeVal(n))
+	next := t.read(q.nodeNext(n))
+	t.update(q.head(), next)
+	if next == 0 {
+		t.update(q.tail(), 0)
+	}
+	t.commitOp()
+	q.h.Store64(n, uint64(q.free))
+	q.free = n
+	return v, true
+}
+
+// PerOp implements structures.Queue.
+func (q *Queue) PerOp(int) {}
+
+// ThreadExit implements structures.Queue.
+func (q *Queue) ThreadExit(int) {}
+
+// Close implements structures.Queue.
+func (q *Queue) Close() {}
+
+// rollbackCell undoes the cell at a if its tag belongs to an uncommitted
+// operation. committed[th] is thread th's last durable sequence number.
+func rollbackCell(h *pmem.Heap, a pmem.Addr, committed []uint64) bool {
+	tag := h.Load64(a + cellTag)
+	if tag == 0 {
+		return false
+	}
+	th := int(tag>>40) - 1
+	seq := tag & (1<<40 - 1)
+	if th < 0 || th >= len(committed) || seq <= committed[th] {
+		return false
+	}
+	h.Store64(a+cellRecord, h.Load64(a+cellBackup))
+	return true
+}
+
+// Recover rolls back every cell written by an operation that never
+// committed, restoring durable linearizability's guarantee: exactly the
+// completed operations survive. Returns the number of cells undone.
+func (m *Map) Recover() int {
+	h := m.h
+	if h.Crashed() {
+		h.Reopen()
+	}
+	committed := make([]uint64, len(m.txns))
+	for i, t := range m.txns {
+		committed[i] = h.Load64(t.commit)
+		t.seq = committed[i]
+		t.touched = t.touched[:0]
+	}
+	rolled := 0
+	for b := uint64(0); b < m.nBucket; b++ {
+		head := m.buckets + pmem.Addr(b*cellSize)
+		if rollbackCell(h, head, committed) {
+			rolled++
+		}
+		// Walk the (now consistent) chain, undoing torn node updates.
+		for n := pmem.Addr(h.Load64(head + cellRecord)); n != pmem.NilAddr; {
+			if rollbackCell(h, m.nodeNext(n), committed) {
+				rolled++
+			}
+			if rollbackCell(h, m.nodeVal(n), committed) {
+				rolled++
+			}
+			n = pmem.Addr(h.Load64(m.nodeNext(n) + cellRecord))
+		}
+	}
+	// The volatile free list did not survive the crash: leak its blocks.
+	m.freeMu.Lock()
+	m.free = pmem.NilAddr
+	m.freeMu.Unlock()
+	return rolled
+}

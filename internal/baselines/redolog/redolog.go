@@ -1,0 +1,266 @@
+// Package redolog implements a durably linearizable hash map and queue using
+// per-operation redo logging (Mnemosyne/SoftWrAP-style, §2.2 of the paper).
+//
+// During an operation, stores are buffered in a volatile write set and
+// appended to the thread's persistent redo log; loads must consult the write
+// set first (read redirection — the characteristic cost of redo logging). At
+// commit, the log is flushed and fenced, a commit marker is persisted, the
+// buffered stores are applied to their home locations and flushed, and the
+// log is truncated. Recovery re-applies committed, non-truncated logs
+// forwards and discards uncommitted ones.
+package redolog
+
+import (
+	"sync"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+const logCap = 4096
+
+// writeSet buffers an operation's stores in DRAM.
+type writeSet struct {
+	m map[pmem.Addr]uint64
+}
+
+// threadLog layout: word0 count, word1 committed flag, then (addr,val) pairs.
+type threadLog struct {
+	base pmem.Addr
+	h    *pmem.Heap
+	f    *pmem.Flusher
+	ws   writeSet
+	seq  []pmem.Addr // store order, for deterministic apply
+}
+
+func newThreadLog(h *pmem.Heap, alloc *pmem.Bump) *threadLog {
+	base := alloc.Alloc((2 + 2*logCap) * 8)
+	if base == pmem.NilAddr {
+		panic("redolog: heap exhausted for log region")
+	}
+	l := &threadLog{base: base, h: h, f: h.NewFlusher(), ws: writeSet{m: map[pmem.Addr]uint64{}}}
+	h.Store64(base, 0)
+	h.Store64(base+8, 0)
+	l.f.PersistRange(base, 16)
+	return l
+}
+
+// store buffers a write.
+func (l *threadLog) store(a pmem.Addr, v uint64) {
+	if _, seen := l.ws.m[a]; !seen {
+		l.seq = append(l.seq, a)
+	}
+	l.ws.m[a] = v
+}
+
+// load reads through the write set (read redirection).
+func (l *threadLog) load(a pmem.Addr) uint64 {
+	if v, ok := l.ws.m[a]; ok {
+		return v
+	}
+	return l.h.Load64(a)
+}
+
+// commit persists the redo log, marks it committed, applies it home and
+// truncates.
+func (l *threadLog) commit() {
+	if len(l.seq) == 0 {
+		return
+	}
+	if len(l.seq) > logCap {
+		panic("redolog: operation write set exceeds log capacity")
+	}
+	// 1. Persist the log body and count.
+	for i, a := range l.seq {
+		entry := l.base + pmem.Addr((2+2*i)*8)
+		l.h.Store64(entry, uint64(a))
+		l.h.Store64(entry+8, l.ws.m[a])
+		l.f.CLWB(entry)
+	}
+	l.h.Store64(l.base, uint64(len(l.seq)))
+	l.f.CLWB(l.base)
+	l.f.SFence()
+	// 2. Persist the commit marker.
+	l.h.Store64(l.base+8, 1)
+	l.f.Persist(l.base + 8)
+	// 3. Apply home and persist.
+	for _, a := range l.seq {
+		l.h.Store64(a, l.ws.m[a])
+		l.f.CLWB(a)
+	}
+	l.f.SFence()
+	// 4. Truncate.
+	l.h.Store64(l.base, 0)
+	l.h.Store64(l.base+8, 0)
+	l.f.PersistRange(l.base, 16)
+	l.seq = l.seq[:0]
+	clear(l.ws.m)
+}
+
+// abort drops the buffered operation (used when an op turns out read-only).
+func (l *threadLog) abort() {
+	l.seq = l.seq[:0]
+	clear(l.ws.m)
+}
+
+// recover re-applies a committed log after a crash; uncommitted logs are
+// simply truncated (their stores never reached home locations).
+func (l *threadLog) recover() int {
+	n := int(l.h.Load64(l.base))
+	committed := l.h.Load64(l.base+8) == 1
+	applied := 0
+	if committed {
+		for i := 0; i < n; i++ {
+			entry := l.base + pmem.Addr((2+2*i)*8)
+			a := pmem.Addr(l.h.Load64(entry))
+			l.h.Store64(a, l.h.Load64(entry+8))
+			l.f.CLWB(a)
+			applied++
+		}
+		l.f.SFence()
+	}
+	l.h.Store64(l.base, 0)
+	l.h.Store64(l.base+8, 0)
+	l.f.PersistRange(l.base, 16)
+	return applied
+}
+
+// Map is the lock-per-bucket hash map over redo logging.
+// Node layout (words): [next, key, value].
+type Map struct {
+	h       *pmem.Heap
+	alloc   *pmem.Bump
+	buckets pmem.Addr
+	nBucket uint64
+	locks   []sync.Mutex
+	logs    []*threadLog
+
+	freeMu sync.Mutex
+	free   pmem.Addr
+}
+
+// NewMap creates a redo-logged map for `threads` workers.
+func NewMap(h *pmem.Heap, nBucket, threads int) *Map {
+	m := &Map{
+		h:       h,
+		alloc:   pmem.NewBumpAll(h),
+		nBucket: uint64(nBucket),
+		locks:   make([]sync.Mutex, nBucket),
+		logs:    make([]*threadLog, threads),
+	}
+	m.buckets = m.alloc.Alloc(nBucket * 8)
+	if m.buckets == pmem.NilAddr {
+		panic("redolog: heap too small")
+	}
+	for i := range m.logs {
+		m.logs[i] = newThreadLog(h, m.alloc)
+	}
+	return m
+}
+
+func hashMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (m *Map) bucket(key uint64) (pmem.Addr, *sync.Mutex) {
+	b := hashMix(key) % m.nBucket
+	return m.buckets + pmem.Addr(b*8), &m.locks[b]
+}
+
+func (m *Map) allocNode() pmem.Addr {
+	m.freeMu.Lock()
+	n := m.free
+	if n != pmem.NilAddr {
+		m.free = pmem.Addr(m.h.Load64(n))
+	}
+	m.freeMu.Unlock()
+	if n == pmem.NilAddr {
+		n = m.alloc.Alloc(24)
+		if n == pmem.NilAddr {
+			panic("redolog: out of memory")
+		}
+	}
+	return n
+}
+
+// Insert implements structures.Map.
+func (m *Map) Insert(th int, key, value uint64) bool {
+	l := m.logs[th]
+	head, mu := m.bucket(key)
+	mu.Lock()
+	defer mu.Unlock()
+	for n := pmem.Addr(l.load(head)); n != pmem.NilAddr; n = pmem.Addr(l.load(n)) {
+		if l.load(n+8) == key {
+			l.store(n+16, value)
+			l.commit()
+			return false
+		}
+	}
+	n := m.allocNode()
+	l.store(n, l.load(head))
+	l.store(n+8, key)
+	l.store(n+16, value)
+	l.store(head, uint64(n))
+	l.commit()
+	return true
+}
+
+// Remove implements structures.Map.
+func (m *Map) Remove(th int, key uint64) bool {
+	l := m.logs[th]
+	head, mu := m.bucket(key)
+	mu.Lock()
+	defer mu.Unlock()
+	prev := head
+	for n := pmem.Addr(l.load(head)); n != pmem.NilAddr; n = pmem.Addr(l.load(n)) {
+		if l.load(n+8) == key {
+			l.store(prev, l.load(n))
+			l.commit()
+			m.freeMu.Lock()
+			m.h.Store64(n, uint64(m.free))
+			m.free = n
+			m.freeMu.Unlock()
+			return true
+		}
+		prev = n
+	}
+	l.abort()
+	return false
+}
+
+// Get implements structures.Map. Even reads pay read redirection.
+func (m *Map) Get(th int, key uint64) (uint64, bool) {
+	l := m.logs[th]
+	head, mu := m.bucket(key)
+	mu.Lock()
+	defer mu.Unlock()
+	for n := pmem.Addr(l.load(head)); n != pmem.NilAddr; n = pmem.Addr(l.load(n)) {
+		if l.load(n+8) == key {
+			v := l.load(n + 16)
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// PerOp implements structures.Map.
+func (m *Map) PerOp(int) {}
+
+// ThreadExit implements structures.Map.
+func (m *Map) ThreadExit(int) {}
+
+// Close implements structures.Map.
+func (m *Map) Close() {}
+
+// Recover replays committed logs after a crash.
+func (m *Map) Recover() int {
+	total := 0
+	for _, l := range m.logs {
+		total += l.recover()
+	}
+	return total
+}

@@ -1,0 +1,361 @@
+// Package undolog implements durably linearizable map and queue baselines
+// using per-operation undo logging, the classic NV-Heaps-style design the
+// paper groups under "transaction-based solutions" (§2.2).
+//
+// Every operation is a failure-atomic section: before a word is modified,
+// its address and old value are appended to the executing thread's
+// persistent undo log and the log entry is flushed and fenced; at the end of
+// the operation the modified lines are flushed and fenced, and the log is
+// truncated (its persisted length reset to zero). Recovery replays
+// non-truncated logs backwards.
+//
+// The package also provides the Clobber-NVM policy (Xu et al., ASPLOS'21,
+// the paper's strongest durable-linearizability comparator): only
+// write-after-read words are logged — write-only words (fields of freshly
+// allocated nodes) skip the log entirely and are only flushed at operation
+// end, which removes most of the log traffic.
+package undolog
+
+import (
+	"sync"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// Policy selects how much is logged.
+type Policy int
+
+const (
+	// Full logs every store (NV-Heaps-style undo logging).
+	Full Policy = iota
+	// ClobberWAR logs only write-after-read stores (Clobber-NVM).
+	ClobberWAR
+)
+
+const logCap = 4096 // entries per thread log
+
+// threadLog is one thread's persistent undo log:
+// word 0: count (persisted length), words 1..: (addr, oldval) pairs.
+type threadLog struct {
+	base    pmem.Addr
+	h       *pmem.Heap
+	f       *pmem.Flusher
+	count   int
+	touched []pmem.Addr // lines modified by the current op
+}
+
+func newThreadLog(h *pmem.Heap, alloc *pmem.Bump) *threadLog {
+	base := alloc.Alloc((1 + 2*logCap) * 8)
+	if base == pmem.NilAddr {
+		panic("undolog: heap exhausted for log region")
+	}
+	l := &threadLog{base: base, h: h, f: h.NewFlusher()}
+	h.Store64(base, 0)
+	l.f.Persist(base)
+	return l
+}
+
+// logStore logs the old value then performs the store: log entry first,
+// flushed and fenced, exactly the write ordering undo logging requires.
+func (l *threadLog) logStore(a pmem.Addr, v uint64) {
+	entry := l.base + pmem.Addr((1+2*l.count)*8)
+	l.h.Store64(entry, uint64(a))
+	l.h.Store64(entry+8, l.h.Load64(a))
+	l.count++
+	l.h.Store64(l.base, uint64(l.count))
+	l.f.CLWB(entry)
+	l.f.CLWB(l.base)
+	l.f.SFence()
+	l.h.Store64(a, v)
+	l.touched = append(l.touched, a)
+}
+
+// plainStore performs an unlogged store (Clobber-NVM write-only data). The
+// line is still flushed at commit.
+func (l *threadLog) plainStore(a pmem.Addr, v uint64) {
+	l.h.Store64(a, v)
+	l.touched = append(l.touched, a)
+}
+
+// commit flushes the operation's modifications and truncates the log.
+func (l *threadLog) commit() {
+	for _, a := range l.touched {
+		l.f.CLWB(a)
+	}
+	l.f.SFence()
+	l.touched = l.touched[:0]
+	if l.count != 0 {
+		l.count = 0
+		l.h.Store64(l.base, 0)
+		l.f.Persist(l.base)
+	}
+}
+
+// recover rolls back a non-truncated log (backwards), as after a crash.
+func (l *threadLog) recover() int {
+	n := int(l.h.Load64(l.base))
+	for i := n - 1; i >= 0; i-- {
+		entry := l.base + pmem.Addr((1+2*i)*8)
+		a := pmem.Addr(l.h.Load64(entry))
+		l.h.Store64(a, l.h.Load64(entry+8))
+		l.f.CLWB(a)
+	}
+	l.f.SFence()
+	l.h.Store64(l.base, 0)
+	l.f.Persist(l.base)
+	l.count = 0
+	l.touched = l.touched[:0]
+	return n
+}
+
+// Map is the lock-per-bucket hash map with per-operation undo logging.
+// Node layout (words): [next, key, value].
+type Map struct {
+	h       *pmem.Heap
+	alloc   *pmem.Bump
+	policy  Policy
+	buckets pmem.Addr
+	nBucket uint64
+	locks   []sync.Mutex
+	logs    []*threadLog
+
+	freeMu sync.Mutex
+	free   pmem.Addr
+}
+
+// NewMap creates an undo-logged map for `threads` workers.
+func NewMap(h *pmem.Heap, nBucket, threads int, policy Policy) *Map {
+	m := &Map{
+		h:       h,
+		alloc:   pmem.NewBumpAll(h),
+		policy:  policy,
+		nBucket: uint64(nBucket),
+		locks:   make([]sync.Mutex, nBucket),
+		logs:    make([]*threadLog, threads),
+	}
+	m.buckets = m.alloc.Alloc(nBucket * 8)
+	if m.buckets == pmem.NilAddr {
+		panic("undolog: heap too small")
+	}
+	for i := range m.logs {
+		m.logs[i] = newThreadLog(h, m.alloc)
+	}
+	return m
+}
+
+func hashMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (m *Map) bucket(key uint64) (pmem.Addr, *sync.Mutex) {
+	b := hashMix(key) % m.nBucket
+	return m.buckets + pmem.Addr(b*8), &m.locks[b]
+}
+
+func (m *Map) allocNode() pmem.Addr {
+	m.freeMu.Lock()
+	n := m.free
+	if n != pmem.NilAddr {
+		m.free = pmem.Addr(m.h.Load64(n))
+	}
+	m.freeMu.Unlock()
+	if n == pmem.NilAddr {
+		n = m.alloc.Alloc(24)
+		if n == pmem.NilAddr {
+			panic("undolog: out of memory")
+		}
+	}
+	return n
+}
+
+// Insert implements structures.Map.
+func (m *Map) Insert(th int, key, value uint64) bool {
+	l := m.logs[th]
+	head, mu := m.bucket(key)
+	mu.Lock()
+	defer mu.Unlock()
+	for n := pmem.Addr(m.h.Load64(head)); n != pmem.NilAddr; n = pmem.Addr(m.h.Load64(n)) {
+		if m.h.Load64(n+8) == key {
+			// Value was (potentially) read before: WAR — both policies log.
+			l.logStore(n+16, value)
+			l.commit()
+			return false
+		}
+	}
+	n := m.allocNode()
+	if m.policy == Full {
+		l.logStore(n, m.h.Load64(head))
+		l.logStore(n+8, key)
+		l.logStore(n+16, value)
+		l.logStore(head, uint64(n))
+	} else {
+		// Clobber-NVM: the fresh node's words are write-only, no log; the
+		// bucket head is read (traversal) then written: WAR, logged.
+		l.plainStore(n, m.h.Load64(head))
+		l.plainStore(n+8, key)
+		l.plainStore(n+16, value)
+		l.logStore(head, uint64(n))
+	}
+	l.commit()
+	return true
+}
+
+// Remove implements structures.Map.
+func (m *Map) Remove(th int, key uint64) bool {
+	l := m.logs[th]
+	head, mu := m.bucket(key)
+	mu.Lock()
+	defer mu.Unlock()
+	prev := head
+	for n := pmem.Addr(m.h.Load64(head)); n != pmem.NilAddr; n = pmem.Addr(m.h.Load64(n)) {
+		if m.h.Load64(n+8) == key {
+			l.logStore(prev, m.h.Load64(n))
+			l.commit()
+			m.freeMu.Lock()
+			m.h.Store64(n, uint64(m.free))
+			m.free = n
+			m.freeMu.Unlock()
+			return true
+		}
+		prev = n
+	}
+	l.commit()
+	return false
+}
+
+// Get implements structures.Map.
+func (m *Map) Get(th int, key uint64) (uint64, bool) {
+	head, mu := m.bucket(key)
+	mu.Lock()
+	defer mu.Unlock()
+	for n := pmem.Addr(m.h.Load64(head)); n != pmem.NilAddr; n = pmem.Addr(m.h.Load64(n)) {
+		if m.h.Load64(n+8) == key {
+			return m.h.Load64(n + 16), true
+		}
+	}
+	return 0, false
+}
+
+// PerOp implements structures.Map (durable systems need no restart points).
+func (m *Map) PerOp(int) {}
+
+// ThreadExit implements structures.Map.
+func (m *Map) ThreadExit(int) {}
+
+// Close implements structures.Map.
+func (m *Map) Close() {}
+
+// Recover rolls back all per-thread logs after a crash and returns the
+// number of entries undone.
+func (m *Map) Recover() int {
+	total := 0
+	for _, l := range m.logs {
+		total += l.recover()
+	}
+	return total
+}
+
+// Queue is the single-lock FIFO with per-operation undo logging.
+// Node layout (words): [next, value].
+type Queue struct {
+	h     *pmem.Heap
+	alloc *pmem.Bump
+	mu    sync.Mutex
+	// head/tail live in NVMM so the structure is recoverable.
+	desc   pmem.Addr // word0 head, word1 tail
+	policy Policy
+	logs   []*threadLog
+	free   pmem.Addr
+}
+
+// NewQueue creates an undo-logged queue for `threads` workers.
+func NewQueue(h *pmem.Heap, threads int, policy Policy) *Queue {
+	q := &Queue{h: h, alloc: pmem.NewBumpAll(h), policy: policy, logs: make([]*threadLog, threads)}
+	q.desc = q.alloc.Alloc(16)
+	h.Store64(q.desc, 0)
+	h.Store64(q.desc+8, 0)
+	for i := range q.logs {
+		q.logs[i] = newThreadLog(h, q.alloc)
+	}
+	return q
+}
+
+func (q *Queue) allocNode() pmem.Addr {
+	n := q.free
+	if n != pmem.NilAddr {
+		q.free = pmem.Addr(q.h.Load64(n))
+		return n
+	}
+	n = q.alloc.Alloc(16)
+	if n == pmem.NilAddr {
+		panic("undolog: out of memory")
+	}
+	return n
+}
+
+// Enqueue implements structures.Queue.
+func (q *Queue) Enqueue(th int, v uint64) {
+	l := q.logs[th]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.allocNode()
+	if q.policy == Full {
+		l.logStore(n, 0)
+		l.logStore(n+8, v)
+	} else {
+		l.plainStore(n, 0)
+		l.plainStore(n+8, v)
+	}
+	tail := pmem.Addr(q.h.Load64(q.desc + 8))
+	if tail == pmem.NilAddr {
+		l.logStore(q.desc, uint64(n))
+	} else {
+		l.logStore(tail, uint64(n))
+	}
+	l.logStore(q.desc+8, uint64(n))
+	l.commit()
+}
+
+// Dequeue implements structures.Queue.
+func (q *Queue) Dequeue(th int) (uint64, bool) {
+	l := q.logs[th]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := pmem.Addr(q.h.Load64(q.desc))
+	if n == pmem.NilAddr {
+		return 0, false
+	}
+	v := q.h.Load64(n + 8)
+	next := q.h.Load64(n)
+	l.logStore(q.desc, next)
+	if next == 0 {
+		l.logStore(q.desc+8, 0)
+	}
+	l.commit()
+	q.h.Store64(n, uint64(q.free))
+	q.free = n
+	return v, true
+}
+
+// PerOp implements structures.Queue.
+func (q *Queue) PerOp(int) {}
+
+// ThreadExit implements structures.Queue.
+func (q *Queue) ThreadExit(int) {}
+
+// Close implements structures.Queue.
+func (q *Queue) Close() {}
+
+// Recover rolls back all per-thread logs after a crash.
+func (q *Queue) Recover() int {
+	total := 0
+	for _, l := range q.logs {
+		total += l.recover()
+	}
+	return total
+}

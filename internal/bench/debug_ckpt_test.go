@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/structures"
+)
+
+func TestDebugCheckpointCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug diagnostic")
+	}
+	s := QuickScale()
+	p := s.params(4)
+	w := MapWorkload{Name: "w", UpdateFrac: 0.9, KeySpace: s.KeySpace, Prefill: s.Prefill}
+	h := pmem.New(pmem.NVMMConfig(mapHeapSize(p)))
+	rt, err := core.NewRuntime(h, core.Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := structures.NewRespctMap(rt, 0, p.Buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrefillMap(m, w, p.Seed)
+	rt.CheckpointIdle()
+	ck := rt.StartCheckpointer(64 * time.Millisecond)
+	r := RunMap("ResPCT", m, 4, time.Second, w, 99)
+	ck.Stop()
+	st := rt.Stats()
+	t.Logf("ops=%d ckpts=%d gate=%v flush=%v totalpause=%v addrs=%d lines=%d",
+		r.Ops, st.Checkpoints, st.GateWait, st.FlushTime, st.TotalPause, st.AddrsSeen, st.LinesWrote)
+}

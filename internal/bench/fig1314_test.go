@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig13Report(t *testing.T) {
+	s := QuickAppScale()
+	// Shrink further for unit-test time.
+	s.MatMulN = 32
+	s.LRPoints = 20_000
+	s.SwaptionsN = 4
+	s.SwTrials = 500
+	s.DedupN = 400
+	s.DedupUniq = 100
+	s.Threads = 3
+	s.Interval = 5 * time.Millisecond
+	s.HeapBytes = 64 << 20
+	out := Fig13(s, nil)
+	for _, want := range []string{"MatMul", "LR", "Swaptions", "Dedup", "normalized"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig13 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRPPlacementStudy(t *testing.T) {
+	s := QuickAppScale()
+	s.LRPoints = 20_000
+	s.Threads = 2
+	s.Interval = 5 * time.Millisecond
+	s.HeapBytes = 64 << 20
+	out := RPPlacementStudy(s, nil)
+	if !strings.Contains(out, "transient") || !strings.Contains(out, "1000") {
+		t.Fatalf("study output malformed:\n%s", out)
+	}
+}
+
+func TestFig14Report(t *testing.T) {
+	s := QuickKVScale()
+	s.Records = 500
+	s.Operations = 2_000
+	s.Clients = 4
+	out := Fig14(s, nil)
+	for _, want := range []string{"Transient<DRAM>", "Transient<NVMM>", "ResPCT", "kops/s", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig14 output missing %q:\n%s", want, out)
+		}
+	}
+}

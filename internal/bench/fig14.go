@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/kv"
+	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/ycsb"
+)
+
+// KVScale sizes the Fig. 14 Memcached/YCSB experiment.
+type KVScale struct {
+	Records    int
+	Operations int
+	ValueSize  int
+	Clients    int
+	Workers    int
+	Buckets    int
+	Interval   time.Duration
+	HeapBytes  int64
+}
+
+// PaperKVScale is the paper's configuration: 1 M keys, 1 M ops, 100-byte
+// values, 32 clients, 4 server workers.
+func PaperKVScale() KVScale {
+	return KVScale{
+		Records: 1_000_000, Operations: 1_000_000, ValueSize: 100,
+		Clients: 32, Workers: 4, Buckets: 1 << 20,
+		Interval: 64 * time.Millisecond, HeapBytes: 2 << 30,
+	}
+}
+
+// QuickKVScale is a CI-sized configuration.
+func QuickKVScale() KVScale {
+	return KVScale{
+		Records: 5_000, Operations: 20_000, ValueSize: 100,
+		Clients: 8, Workers: 4, Buckets: 1 << 12,
+		Interval: 16 * time.Millisecond, HeapBytes: 256 << 20,
+	}
+}
+
+// tcpExecutor drives a kv server over per-client TCP connections.
+type tcpExecutor struct {
+	clients []*kv.Client
+}
+
+func newTCPExecutor(addr string, n int) (*tcpExecutor, error) {
+	e := &tcpExecutor{clients: make([]*kv.Client, n)}
+	for i := range e.clients {
+		c, err := kv.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		e.clients[i] = c
+	}
+	return e, nil
+}
+
+func (e *tcpExecutor) Set(cli int, key string, value []byte) error {
+	return e.clients[cli].Set(key, value)
+}
+
+func (e *tcpExecutor) Get(cli int, key string) ([]byte, bool, error) {
+	return e.clients[cli].Get(key)
+}
+
+func (e *tcpExecutor) closeAll() {
+	for _, c := range e.clients {
+		c.Close()
+	}
+}
+
+type kvVariant struct {
+	name  string
+	build func(s KVScale) (kv.Store, func())
+}
+
+func kvVariants() []kvVariant {
+	return []kvVariant{
+		{"Transient<DRAM>", func(s KVScale) (kv.Store, func()) {
+			h := pmem.New(pmem.DRAMConfig(s.HeapBytes))
+			return kv.NewTransientStore(h), func() {}
+		}},
+		{"Transient<NVMM>", func(s KVScale) (kv.Store, func()) {
+			h := pmem.New(pmem.NVMMConfig(s.HeapBytes))
+			return kv.NewTransientStore(h), func() {}
+		}},
+		{"ResPCT", func(s KVScale) (kv.Store, func()) {
+			h := pmem.New(pmem.NVMMConfig(s.HeapBytes))
+			rt, err := core.NewRuntime(h, core.Config{Threads: s.Workers})
+			if err != nil {
+				panic(err)
+			}
+			st, err := kv.NewRespctStore(rt, 0, s.Buckets)
+			if err != nil {
+				panic(err)
+			}
+			rt.CheckpointIdle()
+			ck := rt.StartCheckpointer(s.Interval)
+			return st, ck.Stop
+		}},
+	}
+}
+
+// Fig14 reproduces the Memcached/YCSB comparison: throughput (kops/s) and
+// latency for the three standard mixes over the three store variants,
+// measured across real TCP connections.
+func Fig14(s KVScale, log func(string)) string {
+	var out strings.Builder
+	out.WriteString(fmt.Sprintf("Figure 14 — Memcached-like KV store, YCSB, %d keys, %d-byte values, %d clients, %d workers\n",
+		s.Records, s.ValueSize, s.Clients, s.Workers))
+	out.WriteString(fmt.Sprintf("%-28s %-26s %10s %10s %10s\n", "system", "workload", "kops/s", "p50", "p99"))
+	for _, w := range ycsb.StandardWorkloads(s.Records, s.Operations, s.ValueSize, s.Clients) {
+		for _, v := range kvVariants() {
+			if log != nil {
+				log(fmt.Sprintf("fig14 %s %s", v.name, w.Name))
+			}
+			store, closeFn := v.build(s)
+			srv, err := kv.NewServer(store, s.Workers, "127.0.0.1:0")
+			if err != nil {
+				panic(err)
+			}
+			ex, err := newTCPExecutor(srv.Addr(), s.Clients)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := ycsb.Load(w, ex); err != nil {
+				panic(err)
+			}
+			res, err := ycsb.Run(w, ex)
+			if err != nil {
+				panic(err)
+			}
+			ex.closeAll()
+			srv.Close()
+			closeFn()
+			runtime.GC()
+			out.WriteString(fmt.Sprintf("%-28s %-26s %10.1f %10v %10v\n",
+				v.name, w.Name, res.KopsPerSec(), res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond)))
+		}
+	}
+	return out.String()
+}

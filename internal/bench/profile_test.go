@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/respct/respct/internal/core"
+)
+
+// BenchmarkProfileRespctMap is a profiling aid for the ResPCT map hot path
+// (single worker, read-heavy, no checkpoints).
+func BenchmarkProfileRespctMap(b *testing.B) {
+	p := Params{Buckets: 4096, KeySpace: 8192, Prefill: 4096, Threads: 1, Interval: time.Hour, Seed: 1}
+	m, closeFn := respctMapVariant(p, core.Config{}, false)
+	defer closeFn()
+	x := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		k := x%8192 + 1
+		if x%10 == 0 {
+			m.Insert(0, k, k)
+		} else {
+			m.Get(0, k)
+		}
+		m.PerOp(0)
+	}
+	b.StopTimer()
+	m.ThreadExit(0)
+}
+
+// BenchmarkProfileRespctMapWrite is the write-intensive profiling aid, with
+// a live checkpointer (the full-system hot path).
+func BenchmarkProfileRespctMapWrite(b *testing.B) {
+	p := Params{Buckets: 4096, KeySpace: 8192, Prefill: 4096, Threads: 1, Interval: 64 * time.Millisecond, Seed: 1}
+	m, closeFn := respctMapVariant(p, core.Config{}, true)
+	defer closeFn()
+	x := uint64(1)
+	ins := true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		k := x%8192 + 1
+		if x%10 != 0 {
+			if ins {
+				m.Insert(0, k, k)
+			} else {
+				m.Remove(0, k)
+			}
+			ins = !ins
+		} else {
+			m.Get(0, k)
+		}
+		m.PerOp(0)
+	}
+	b.StopTimer()
+	m.ThreadExit(0)
+}
+
+// BenchmarkProfileTransientMap is the matching transient-on-NVMM hot path.
+func BenchmarkProfileTransientMap(b *testing.B) {
+	p := Params{Buckets: 4096, KeySpace: 8192, Prefill: 4096, Threads: 1, Interval: time.Hour, Seed: 1}
+	sys := MapSystem0("Transient<NVMM>")
+	m, closeFn := sys.New(p)
+	defer closeFn()
+	PrefillMap(m, MapWorkload{KeySpace: p.KeySpace, Prefill: p.Prefill}, p.Seed)
+	x := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		k := x%8192 + 1
+		if x%10 == 0 {
+			m.Insert(0, k, k)
+		} else {
+			m.Get(0, k)
+		}
+		m.PerOp(0)
+	}
+}

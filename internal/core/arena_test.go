@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ total, wantClass int }{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2}, {4096, 6},
+	}
+	for _, c := range cases {
+		got, err := classFor(c.total)
+		if err != nil || got != c.wantClass {
+			t.Errorf("classFor(%d) = %d,%v want %d", c.total, got, err, c.wantClass)
+		}
+	}
+	if _, err := classFor(classSize(numClasses-1) + 1); err == nil {
+		t.Error("classFor accepted an over-large request")
+	}
+}
+
+func TestLayoutPackRoundTrip(t *testing.T) {
+	f := func(class uint8, cells, raw uint32) bool {
+		c := int(class) % numClasses
+		ce := int(cells) % (1 << 27)
+		rw := int(raw) % (1 << 27)
+		gc, gce, grw := unpackLayout(packLayout(c, ce, rw))
+		return gc == c && gce == ce && grw == rw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocReturnsDistinctAlignedBlocks(t *testing.T) {
+	rt := newTestRuntime(t, 1, 32<<20)
+	th := rt.Thread(0)
+	seen := map[pmem.Addr]bool{}
+	for i := 0; i < 500; i++ {
+		p := rt.Arena().Alloc(th, i%3, i%5)
+		if p == pmem.NilAddr {
+			t.Fatal("exhausted")
+		}
+		if p%pmem.LineSize != 0 {
+			t.Fatalf("payload %#x not line aligned", uint64(p))
+		}
+		if seen[p] {
+			t.Fatalf("payload %#x returned twice", uint64(p))
+		}
+		seen[p] = true
+	}
+}
+
+func TestAllocExhaustionReturnsNil(t *testing.T) {
+	h := pmem.New(pmem.Config{Size: 1 << 20})
+	rt, err := NewRuntime(h, Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.Thread(0)
+	n := 0
+	for {
+		if rt.Arena().Alloc(th, 0, 8000) == pmem.NilAddr {
+			break
+		}
+		n++
+		if n > 1000 {
+			t.Fatal("never exhausted")
+		}
+	}
+	// Small allocations may still fit or also be exhausted — either way no
+	// panic, and the arena stays consistent.
+	rt.Arena().Alloc(th, 1, 0)
+}
+
+func TestMagazineRecyclesOnlyAfterEpoch(t *testing.T) {
+	rt := newTestRuntime(t, 1, 0)
+	th := rt.Thread(0)
+	var blocks []pmem.Addr
+	for i := 0; i < 10; i++ {
+		blocks = append(blocks, rt.Arena().AllocCells(th, 1))
+	}
+	for _, b := range blocks {
+		rt.Arena().Free(th, b)
+	}
+	// Same epoch: none of the freed blocks may be recycled.
+	for i := 0; i < 10; i++ {
+		p := rt.Arena().AllocCells(th, 1)
+		for _, b := range blocks {
+			if p == b {
+				t.Fatalf("block %#x recycled in its freeing epoch", uint64(b))
+			}
+		}
+	}
+	mustCheckpointSolo(t, rt)
+	// Next epoch: the magazine serves the freed blocks (FIFO).
+	p := rt.Arena().AllocCells(th, 1)
+	if p != blocks[0] {
+		t.Fatalf("expected magazine to serve %#x, got %#x", uint64(blocks[0]), uint64(p))
+	}
+}
+
+func TestMagazineIsPerThread(t *testing.T) {
+	rt := newTestRuntime(t, 2, 0)
+	t0, t1 := rt.Thread(0), rt.Thread(1)
+	b := rt.Arena().AllocCells(t0, 1)
+	rt.Arena().Free(t0, b)
+	mustCheckpointSolo(t, rt)
+	// Thread 1 cannot see thread 0's magazine; it carves fresh.
+	p := rt.Arena().AllocCells(t1, 1)
+	if p == b {
+		t.Fatal("magazine leaked across threads")
+	}
+	// Thread 0 still recycles it.
+	if q := rt.Arena().AllocCells(t0, 1); q != b {
+		t.Fatalf("thread 0 magazine lost its block: got %#x want %#x", uint64(q), uint64(b))
+	}
+}
+
+// TestQuickArenaModel drives random alloc/free/write/checkpoint/crash
+// sequences and checks two invariants against a volatile model: (1) live
+// blocks never alias, and (2) after a crash, every block that was live at
+// the last checkpoint still holds its checkpointed contents.
+func TestQuickArenaModel(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		h := pmem.New(pmem.Config{Size: 16 << 20, Seed: seed})
+		rt, err := NewRuntime(h, Config{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := rt.Thread(0)
+		rng := rand.New(rand.NewSource(seed))
+
+		type live struct {
+			payload pmem.Addr
+			cell    InCLL
+			val     uint64
+		}
+		var blocks []live
+		certified := map[pmem.Addr]uint64{} // cell addr -> value at last checkpoint
+
+		for _, op := range ops {
+			switch op % 5 {
+			case 0, 1: // alloc + init
+				p := rt.Arena().AllocCells(th, 1)
+				if p == pmem.NilAddr {
+					continue
+				}
+				for _, b := range blocks {
+					if b.payload == p {
+						t.Fatalf("alias: %#x handed out twice while live", uint64(p))
+					}
+				}
+				c := Cell(p, 0)
+				v := rng.Uint64()
+				th.Init(c, v)
+				blocks = append(blocks, live{p, c, v})
+			case 2: // update a live block
+				if len(blocks) == 0 {
+					continue
+				}
+				i := rng.Intn(len(blocks))
+				blocks[i].val = rng.Uint64()
+				th.Update(blocks[i].cell, blocks[i].val)
+			case 3: // free a live block
+				if len(blocks) == 0 {
+					continue
+				}
+				i := rng.Intn(len(blocks))
+				rt.Arena().Free(th, blocks[i].payload)
+				delete(certified, uint64AddrKey(blocks[i].cell))
+				blocks = append(blocks[:i], blocks[i+1:]...)
+			case 4: // checkpoint: certify current values
+				mustCheckpointSolo(t, rt)
+				certified = map[pmem.Addr]uint64{}
+				for _, b := range blocks {
+					certified[uint64AddrKey(b.cell)] = b.val
+				}
+			}
+		}
+
+		// Crash with partial eviction and verify the certified values.
+		h.EvictDirtyFraction(0.5, seed^0x5a5a)
+		h.Crash()
+		rt2, _, err := Recover(h, Config{Threads: 1}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for addr, want := range certified {
+			if got := rt2.Read(InCLLAt(addr)); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uint64AddrKey(c InCLL) pmem.Addr { return c.Addr() }
+
+func TestFreeOfGarbagePanics(t *testing.T) {
+	rt := newTestRuntime(t, 1, 0)
+	th := rt.Thread(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free of a non-block address did not panic")
+		}
+	}()
+	rt.Arena().Free(th, rt.Arena().DataBase()+64+pmem.LineSize*3)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Checkpointer drives periodic checkpoints, the paper's timer. The interval
+// is the targeted epoch duration; the effective period can be slightly
+// longer because a checkpoint waits for every thread to reach a restart
+// point (§5.2 measures this gap).
+type Checkpointer struct {
+	rt       *Runtime
+	interval time.Duration
+	stop     chan struct{}
+	done     sync.WaitGroup
+
+	periods atomic.Int64 // completed periods
+	totalNs atomic.Int64 // sum of completion-to-completion gaps
+
+	histMu  sync.Mutex
+	history []CheckpointInfo // ring of the most recent checkpoints
+	histPos int
+}
+
+// historyCap bounds the retained per-checkpoint records.
+const historyCap = 256
+
+// StartCheckpointer begins taking a checkpoint every interval. Workers must
+// reach restart points (or allow windows) for each checkpoint to complete;
+// a worker goroutine that exits must call Thread.CheckpointAllow first or
+// the checkpointer will stall waiting for it.
+func (rt *Runtime) StartCheckpointer(interval time.Duration) *Checkpointer {
+	c := &Checkpointer{rt: rt, interval: interval, stop: make(chan struct{})}
+	c.done.Add(1)
+	go func() {
+		defer c.done.Done()
+		last := time.Now()
+		timer := time.NewTimer(interval)
+		defer timer.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-timer.C:
+			}
+			info := rt.Checkpoint()
+			now := time.Now()
+			c.periods.Add(1)
+			c.totalNs.Add(int64(now.Sub(last)))
+			last = now
+			c.histMu.Lock()
+			if len(c.history) < historyCap {
+				c.history = append(c.history, info)
+			} else {
+				c.history[c.histPos] = info
+				c.histPos = (c.histPos + 1) % historyCap
+			}
+			c.histMu.Unlock()
+			timer.Reset(interval)
+		}
+	}()
+	return c
+}
+
+// Stop halts the periodic checkpoints and waits for any in-flight one.
+func (c *Checkpointer) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.done.Wait()
+}
+
+// Interval returns the configured checkpoint period.
+func (c *Checkpointer) Interval() time.Duration { return c.interval }
+
+// History returns copies of the most recent checkpoint records (up to 256),
+// oldest first.
+func (c *Checkpointer) History() []CheckpointInfo {
+	c.histMu.Lock()
+	defer c.histMu.Unlock()
+	out := make([]CheckpointInfo, 0, len(c.history))
+	out = append(out, c.history[c.histPos:]...)
+	out = append(out, c.history[:c.histPos]...)
+	return out
+}
+
+// MaxPause returns the longest checkpoint duration in the recorded history.
+func (c *Checkpointer) MaxPause() time.Duration {
+	var maxP time.Duration
+	for _, info := range c.History() {
+		if info.Total > maxP {
+			maxP = info.Total
+		}
+	}
+	return maxP
+}
+
+// EffectivePeriod returns the measured average completion-to-completion
+// epoch duration, or zero if no period completed yet.
+func (c *Checkpointer) EffectivePeriod() time.Duration {
+	n := c.periods.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(c.totalNs.Load() / n)
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// RecoveryReport describes what a recovery pass did.
+type RecoveryReport struct {
+	FailedEpoch     uint64
+	BlocksScanned   int
+	CellsScanned    int
+	CellsRolledBack int
+	Duration        time.Duration
+}
+
+// Recover reconstructs a consistent runtime from a crashed heap (paper
+// Fig. 5). It reboots the heap if needed, reads the failed epoch from the
+// persistent image, scans every InCLL cell in NVMM — the metadata cells, the
+// 64 root cells, and every cell of every allocated block — and rolls back to
+// its logged value each cell whose epoch tag equals the failed epoch. The
+// rolled-back lines are flushed immediately, so the persistent image itself
+// becomes the state of the last completed checkpoint and recovery is
+// idempotent across repeated crashes.
+//
+// parallelism is the number of goroutines used for the block scan (the
+// paper parallelises recovery with 32 threads); values < 2 scan serially.
+//
+// Execution resumes in the failed epoch, exactly as in the paper (Fig. 5
+// line 65): cells already tagged with it keep their backup — which recovery
+// just made the current value — so a second crash rolls back to the same
+// checkpoint.
+func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryReport, error) {
+	start := time.Now()
+	if cfg.Threads <= 0 || cfg.Threads > MaxThreads {
+		return nil, nil, fmt.Errorf("core: thread count %d out of range [1,%d]", cfg.Threads, MaxThreads)
+	}
+	if h.Crashed() {
+		h.Reopen()
+	}
+	rt := &Runtime{heap: h, cfg: cfg}
+	rt.sysFlusher = h.NewFlusher()
+	rt.sys = &Thread{rt: rt, id: -1}
+
+	arena := newArenaView(rt)
+	if err := arena.checkFormatMarker(); err != nil {
+		return nil, nil, err
+	}
+	rt.arena = arena
+
+	failedEpoch := h.Load64(h.EpochAddr())
+	if failedEpoch == 0 {
+		return nil, nil, fmt.Errorf("core: formatted heap with epoch 0 — torn format")
+	}
+	rt.epochCache.Store(failedEpoch)
+
+	rep := &RecoveryReport{FailedEpoch: failedEpoch}
+	f := rt.sysFlusher
+
+	// Every cell tagged with the failed epoch is rolled back, flushed, and
+	// re-registered in the system flush list: execution resumes in the
+	// failed epoch, so later updates of these cells are not first touches
+	// and would otherwise never be flushed by the resumed epoch's
+	// checkpoint.
+	rollback := func(a pmem.Addr) {
+		rep.CellsScanned++
+		if rollbackCell(h, a, failedEpoch) {
+			rep.CellsRolledBack++
+			f.CLWB(a)
+			rt.sys.AddModified(a)
+		}
+	}
+
+	// Metadata and root cells first: the bump cursor gates the block scan.
+	rollback(arena.bump.Addr())
+	for c := 0; c < numClasses; c++ {
+		rollback(arena.heads[c].Addr())
+	}
+	for i := 0; i < pmem.NumRoots; i++ {
+		rollback(h.RootAddr(i))
+	}
+	f.SFence()
+
+	// Walk the carved region block by block. Headers of every reachable
+	// block were flushed by the checkpoint that made them reachable, so
+	// magic and layout are trustworthy after the layout cell's own
+	// rollback.
+	var blocks []pmem.Addr
+	cur := arena.dataBase
+	end := pmem.Addr(h.Load64(arena.bump.Addr() + cellRecordOff))
+	for cur < end {
+		if got := h.Load64(cur + hdrMagicOff); got != blockMagic {
+			return nil, nil, fmt.Errorf("core: corrupt block header at %#x (magic %#x)", uint64(cur), got)
+		}
+		rollback(cur + hdrLayoutOff)
+		class, _, _ := unpackLayout(h.Load64(cur + hdrLayoutOff + cellRecordOff))
+		if class < 0 || class >= numClasses {
+			return nil, nil, fmt.Errorf("core: corrupt block layout at %#x (class %d)", uint64(cur), class)
+		}
+		blocks = append(blocks, cur)
+		cur += pmem.Addr(classSize(class))
+	}
+	rep.BlocksScanned = len(blocks)
+	f.SFence()
+
+	scanBlock := func(block pmem.Addr, fl *pmem.Flusher, matched *[]pmem.Addr) (scanned int) {
+		_, cells, _ := unpackLayout(h.Load64(block + hdrLayoutOff + cellRecordOff))
+		check := func(a pmem.Addr) {
+			scanned++
+			if rollbackCell(h, a, failedEpoch) {
+				*matched = append(*matched, a)
+				fl.CLWB(a)
+			}
+		}
+		check(block + hdrNextOff)
+		payload := block + headerSize
+		for i := 0; i < cells; i++ {
+			check(payload + pmem.Addr(i*CellSize))
+		}
+		return scanned
+	}
+
+	registerMatches := func(matched []pmem.Addr) {
+		rep.CellsRolledBack += len(matched)
+		for _, a := range matched {
+			rt.sys.AddModified(a)
+		}
+	}
+
+	if parallelism < 2 || len(blocks) < 64 {
+		var matched []pmem.Addr
+		for _, b := range blocks {
+			rep.CellsScanned += scanBlock(b, f, &matched)
+		}
+		f.SFence()
+		registerMatches(matched)
+	} else {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		chunk := (len(blocks) + parallelism - 1) / parallelism
+		for g := 0; g < parallelism; g++ {
+			lo := g * chunk
+			hi := min(lo+chunk, len(blocks))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(bs []pmem.Addr) {
+				defer wg.Done()
+				fl := h.NewFlusher()
+				var matched []pmem.Addr
+				scanned := 0
+				for _, b := range bs {
+					scanned += scanBlock(b, fl, &matched)
+				}
+				fl.SFence()
+				mu.Lock()
+				rep.CellsScanned += scanned
+				registerMatches(matched)
+				mu.Unlock()
+			}(blocks[lo:hi])
+		}
+		wg.Wait()
+	}
+
+	// Rebuild worker handles; restart-point cells registered by a previous
+	// run are recovered, missing ones (never checkpointed) are fresh.
+	rt.flags = make([]flagSlot, cfg.Threads)
+	rt.threads = make([]*Thread, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		t := &Thread{rt: rt, id: i}
+		if addr := h.Load64(arena.rpSlot(i)); addr != 0 {
+			t.rpID = InCLLAt(pmem.Addr(addr))
+		} else {
+			cell, err := arena.allocRPCell(rt.sys, i)
+			if err != nil {
+				return nil, nil, err
+			}
+			t.rpID = cell
+		}
+		rt.threads[i] = t
+	}
+
+	rep.Duration = time.Since(start)
+	return rt, rep, nil
+}

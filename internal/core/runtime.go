@@ -1,0 +1,482 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// MaxThreads is the maximum number of worker threads a Runtime supports.
+// The per-thread restart-point table in NVMM is sized for it.
+const MaxThreads = 256
+
+// Config parameterises a Runtime.
+type Config struct {
+	// Threads is the number of worker threads (paper NB_THREADS). Each
+	// worker must obtain its handle with Runtime.Thread and all workers
+	// must reach restart points for checkpoints to complete.
+	Threads int
+
+	// SerialFlush disables the parallel flusher pool and drains all
+	// to-be-flushed lists with a single flusher (the configuration the
+	// paper identifies as the bottleneck of unmodified PMThreads).
+	SerialFlush bool
+
+	// SkipFlush elides flush_modified at checkpoints while keeping the
+	// rest of the algorithm (the ResPCT-noFlush configuration of the
+	// paper's overhead analysis, Fig. 10). Recovery is unsound with it.
+	SkipFlush bool
+
+	// DisableTracking makes AddModified append unconditionally even for
+	// repeat updates (ablation of the InCLL-based tracking optimisation).
+	// It changes nothing semantically — SFence coalesces duplicates —
+	// but shows the cost of naive tracking.
+	DisableTracking bool
+}
+
+type flagSlot struct {
+	v atomic.Bool
+	_ [63]byte // avoid false sharing between per-thread flags
+}
+
+// CheckpointInfo describes one completed checkpoint.
+type CheckpointInfo struct {
+	Epoch      uint64        // the epoch this checkpoint closed
+	GateWait   time.Duration // time waiting for all threads to reach RPs
+	FlushTime  time.Duration // time spent in flush_modified
+	Total      time.Duration // end-to-end checkpoint duration
+	AddrsSeen  int           // tracked addresses drained (paper's "addresses flushed")
+	LinesWrote int           // unique cache lines written back
+}
+
+// RuntimeStats aggregates checkpoint activity.
+type RuntimeStats struct {
+	Checkpoints uint64
+	AddrsSeen   uint64
+	LinesWrote  uint64
+	GateWait    time.Duration
+	FlushTime   time.Duration
+	TotalPause  time.Duration
+}
+
+// Runtime is the ResPCT runtime for one persistent heap: the global epoch,
+// the checkpoint machinery and the crash-consistent allocator.
+type Runtime struct {
+	heap *pmem.Heap
+	cfg  Config
+
+	// epochCache mirrors the persistent epoch counter (heap word 0) in
+	// DRAM; update_InCLL reads it on every store.
+	epochCache atomic.Uint64
+	timer      atomic.Bool
+
+	flags   []flagSlot
+	threads []*Thread
+	sys     *Thread // system thread: init, recovery, deferred frees; not gated
+
+	arena *Arena
+
+	ckptMu     sync.Mutex
+	sysFlusher *pmem.Flusher // guarded by ckptMu
+
+	// quiescedHook, when set, runs while all threads are parked, before
+	// flush_modified. Crash tests use it to certify logical snapshots.
+	quiescedHook func(endingEpoch uint64)
+
+	nCheckpoints atomic.Uint64
+	statAddrs    atomic.Uint64
+	statLines    atomic.Uint64
+	statGateNs   atomic.Int64
+	statFlushNs  atomic.Int64
+	statTotalNs  atomic.Int64
+}
+
+// Thread is a worker's handle on the runtime. Each handle must be used by a
+// single goroutine. It owns the thread's to-be-flushed list, deferred-free
+// list and persistent restart-point identifier.
+type Thread struct {
+	rt          *Runtime
+	id          int
+	toFlush     []pmem.Addr
+	pendingFree []pmem.Addr
+	rpID        InCLL
+	rpCalls     uint64
+
+	// magazines cache freed blocks per size class for lock-free recycling
+	// by the owning thread (see Arena.Free). magStart is the pop cursor.
+	magazines [numClasses][]magazineEntry
+	magStart  [numClasses]int
+
+	// flusher is this thread's cached write-back handle, used only inside
+	// checkpoints (the flusher pool) — reusing it keeps its pending buffer
+	// warm across epochs.
+	flusher *pmem.Flusher
+}
+
+// magazineEntry records a freed block and the epoch that freed it: the
+// block is recyclable once that epoch has been checkpointed.
+type magazineEntry struct {
+	block pmem.Addr
+	epoch uint64
+}
+
+// NewRuntime formats a fresh heap for ResPCT and returns its runtime: the
+// allocator metadata is laid out and persisted, the global epoch is set to 1
+// and every worker thread's persistent restart-point cell is allocated. Use
+// Recover instead for a heap that holds a previous execution's state.
+func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
+	if cfg.Threads <= 0 || cfg.Threads > MaxThreads {
+		return nil, fmt.Errorf("core: thread count %d out of range [1,%d]", cfg.Threads, MaxThreads)
+	}
+	rt := &Runtime{heap: h, cfg: cfg}
+	rt.sysFlusher = h.NewFlusher()
+	rt.sys = &Thread{rt: rt, id: -1}
+	rt.epochCache.Store(1)
+	h.Store64(h.EpochAddr(), 1)
+
+	arena, err := formatArena(rt)
+	if err != nil {
+		return nil, err
+	}
+	rt.arena = arena
+
+	rt.flags = make([]flagSlot, cfg.Threads)
+	rt.threads = make([]*Thread, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		t := &Thread{rt: rt, id: i}
+		cell, err := arena.allocRPCell(rt.sys, i)
+		if err != nil {
+			return nil, err
+		}
+		t.rpID = cell
+		rt.threads[i] = t
+	}
+
+	// Persist the formatted image and close the formatting epoch like a
+	// checkpoint would: flush everything formatting touched, then advance
+	// to epoch 2 and persist the counter. Ending the epoch here keeps the
+	// tracking invariant — a cell whose tag equals the current epoch is
+	// always in some to-be-flushed list — which would break if execution
+	// continued in the epoch whose list was just drained. The format
+	// marker goes last, so a marker in NVMM implies a complete format.
+	for _, a := range rt.sys.toFlush {
+		rt.sysFlusher.CLWB(a)
+	}
+	rt.sys.toFlush = rt.sys.toFlush[:0]
+	rt.sysFlusher.SFence()
+	h.Store64(h.EpochAddr(), 2)
+	rt.epochCache.Store(2)
+	rt.sysFlusher.Persist(h.EpochAddr())
+	arena.persistFormatMarker(rt.sysFlusher)
+	return rt, nil
+}
+
+// Heap returns the underlying persistent heap.
+func (rt *Runtime) Heap() *pmem.Heap { return rt.heap }
+
+// Arena returns the runtime's crash-consistent allocator.
+func (rt *Runtime) Arena() *Arena { return rt.arena }
+
+// Epoch returns the current epoch number.
+func (rt *Runtime) Epoch() uint64 { return rt.epochCache.Load() }
+
+// Threads returns the configured worker count.
+func (rt *Runtime) Threads() int { return len(rt.threads) }
+
+// Thread returns worker i's handle. The handle must be used by one
+// goroutine only.
+func (rt *Runtime) Thread(i int) *Thread { return rt.threads[i] }
+
+// Sys returns the system thread handle, for initialisation code that runs
+// before workers start (or while they are quiesced). It is not gated by
+// checkpoints and must never be used concurrently with them; when a
+// checkpointer may be running, use ExclusiveSys instead.
+func (rt *Runtime) Sys() *Thread { return rt.sys }
+
+// ExclusiveSys runs f with the system thread while holding the checkpoint
+// lock, so f's updates cannot race a concurrent checkpoint's flush of the
+// system flush list. Keep f short: checkpoints are blocked for its
+// duration.
+func (rt *Runtime) ExclusiveSys(f func(sys *Thread)) {
+	rt.ckptMu.Lock()
+	defer rt.ckptMu.Unlock()
+	f(rt.sys)
+}
+
+// SetQuiescedHook installs f to run during checkpoints while every worker is
+// parked, before modified data is flushed. Pass nil to clear. Not safe to
+// call concurrently with checkpoints.
+func (rt *Runtime) SetQuiescedHook(f func(endingEpoch uint64)) { rt.quiescedHook = f }
+
+// RootInCLL returns an InCLL view of named persistent root slot i. Roots
+// are always scanned during recovery. Publish into a root with
+// Thread.Update, never Thread.Init: roots pre-exist, and only Update's undo
+// log lets a crash roll the publication back to the previous root — Init
+// would pin the new value while the block it points to is un-carved by the
+// allocator rollback.
+func (rt *Runtime) RootInCLL(i int) InCLL {
+	return InCLLAt(rt.heap.RootAddr(i))
+}
+
+// CheckpointIdle runs one checkpoint while no worker goroutines are active:
+// it opens an allow window for every worker, checkpoints, and closes the
+// windows. Setup code uses it to make freshly created structures durable
+// before the workload (and its periodic checkpointer) starts.
+func (rt *Runtime) CheckpointIdle() CheckpointInfo {
+	for i := range rt.threads {
+		rt.threads[i].CheckpointAllow()
+	}
+	info := rt.Checkpoint()
+	for i := range rt.threads {
+		rt.threads[i].CheckpointPrevent(nil)
+	}
+	return info
+}
+
+// ID returns the worker index, or -1 for the system thread.
+func (t *Thread) ID() int { return t.id }
+
+// Runtime returns the runtime this handle belongs to.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// RPID returns the thread's persistent restart-point cell. After recovery
+// it holds the identifier of the RP the thread last parked at, which tells
+// the application where to resume.
+func (t *Thread) RPID() InCLL { return t.rpID }
+
+// AddModified registers a modified persistent address for flushing at the
+// next checkpoint (paper add_modified, Fig. 4 lines 12-13). InCLL updates
+// call it automatically on the first update per epoch; plain (RAW-only)
+// persistent stores must call it explicitly right after the write, under the
+// same exclusion that protected the write.
+func (t *Thread) AddModified(a pmem.Addr) {
+	t.toFlush = append(t.toFlush, a)
+}
+
+// AddModifiedRange registers every cache line overlapping [a, a+n).
+func (t *Thread) AddModifiedRange(a pmem.Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	first := pmem.LineOf(a)
+	last := pmem.LineOf(a + pmem.Addr(n) - 1)
+	for line := first; line <= last; line++ {
+		t.toFlush = append(t.toFlush, pmem.LineAddr(line))
+	}
+}
+
+// StoreTracked writes a plain persistent word and registers it for flushing.
+// It is the idiom for RAW-only persistent data (no WAR dependency, so no
+// undo log needed — paper §3.3.2 and Fig. 6b line 6).
+func (t *Thread) StoreTracked(a pmem.Addr, v uint64) {
+	t.rt.heap.Store64(a, v)
+	t.AddModified(a)
+}
+
+// Load reads a persistent word.
+func (t *Thread) Load(a pmem.Addr) uint64 { return t.rt.heap.Load64(a) }
+
+// RP marks a restart point (paper Fig. 4 lines 40-45). The identifier must
+// be unique per RP() call site and stable across runs. If a checkpoint is
+// pending the thread parks here until it completes.
+func (t *Thread) RP(id uint64) {
+	t.Update(t.rpID, id)
+	if t.rt.timer.Load() {
+		t.rt.flags[t.id].v.Store(true)
+		for t.rt.timer.Load() {
+			runtime.Gosched()
+		}
+		t.rt.flags[t.id].v.Store(false)
+		return
+	}
+	// On few-core hosts a tight RP loop can starve the checkpointer (real
+	// hardware threads in the paper's setup run truly in parallel); yield
+	// occasionally so the timer goroutine gets CPU.
+	t.rpCalls++
+	if t.rpCalls&0xFF == 0 {
+		runtime.Gosched()
+	}
+}
+
+// CheckpointAllow marks the thread as safe to checkpoint while it is about
+// to block (paper Fig. 4 lines 30-31), e.g. on a condition variable or at
+// goroutine exit. The thread must not touch persistent state until it calls
+// CheckpointPrevent.
+func (t *Thread) CheckpointAllow() {
+	t.rt.flags[t.id].v.Store(true)
+}
+
+// CheckpointPrevent revokes CheckpointAllow after a wait returns (paper
+// Fig. 4 lines 32-39). If a checkpoint is in flight the thread temporarily
+// re-allows it, releases mu (the mutex re-acquired by the condition wait) to
+// avoid deadlocking threads parked at RPs that need it, waits for the
+// checkpoint to finish, and re-acquires mu. mu may be nil for blocking
+// calls made outside any critical section.
+func (t *Thread) CheckpointPrevent(mu sync.Locker) {
+	t.rt.flags[t.id].v.Store(false)
+	if t.rt.timer.Load() {
+		t.rt.flags[t.id].v.Store(true)
+		if mu != nil {
+			mu.Unlock()
+		}
+		for t.rt.timer.Load() {
+			runtime.Gosched()
+		}
+		if mu != nil {
+			mu.Lock()
+		}
+		t.rt.flags[t.id].v.Store(false)
+	}
+}
+
+// CondWait waits on c with the full Fig. 7 protocol: allow checkpoints,
+// wait, then prevent them again (releasing c's mutex if a checkpoint is in
+// flight). The caller must hold mu, which must be the mutex c was created
+// with, and must re-check its predicate after CondWait returns.
+func (t *Thread) CondWait(c *sync.Cond, mu sync.Locker) {
+	t.CheckpointAllow()
+	c.Wait()
+	t.CheckpointPrevent(mu)
+}
+
+// Checkpoint executes the paper's checkpoint procedure (Fig. 4 lines 46-59):
+// raise the timer, wait until every worker is parked at an RP (or inside an
+// allow window), flush all tracked modifications, increment and persist the
+// global epoch, apply deferred frees in the new epoch, release the workers.
+func (rt *Runtime) Checkpoint() CheckpointInfo {
+	rt.ckptMu.Lock()
+	defer rt.ckptMu.Unlock()
+
+	start := time.Now()
+	rt.timer.Store(true)
+	for {
+		all := true
+		for i := range rt.flags {
+			if !rt.flags[i].v.Load() {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		runtime.Gosched()
+	}
+	gateDone := time.Now()
+
+	ending := rt.epochCache.Load()
+	if rt.quiescedHook != nil {
+		rt.quiescedHook(ending)
+	}
+
+	var addrs, lines int
+	if !rt.cfg.SkipFlush {
+		addrs, lines = rt.flushModified()
+	} else {
+		for _, t := range rt.allThreads() {
+			addrs += len(t.toFlush)
+			t.toFlush = t.toFlush[:0]
+		}
+	}
+	flushDone := time.Now()
+
+	newEpoch := ending + 1
+	rt.heap.Store64(rt.heap.EpochAddr(), newEpoch)
+	rt.epochCache.Store(newEpoch)
+	rt.sysFlusher.Persist(rt.heap.EpochAddr())
+
+	// Deferred frees become visible in the new epoch, so a crash rolls
+	// them back and a block can never be recycled in the epoch it was
+	// freed (which would clobber data the undo log still depends on).
+	rt.arena.applyDeferredFrees(rt.sys, rt.threads)
+
+	rt.timer.Store(false)
+	end := time.Now()
+
+	info := CheckpointInfo{
+		Epoch:      ending,
+		GateWait:   gateDone.Sub(start),
+		FlushTime:  flushDone.Sub(gateDone),
+		Total:      end.Sub(start),
+		AddrsSeen:  addrs,
+		LinesWrote: lines,
+	}
+	rt.nCheckpoints.Add(1)
+	rt.statAddrs.Add(uint64(addrs))
+	rt.statLines.Add(uint64(lines))
+	rt.statGateNs.Add(int64(info.GateWait))
+	rt.statFlushNs.Add(int64(info.FlushTime))
+	rt.statTotalNs.Add(int64(info.Total))
+	return info
+}
+
+func (rt *Runtime) allThreads() []*Thread {
+	all := make([]*Thread, 0, len(rt.threads)+1)
+	all = append(all, rt.threads...)
+	all = append(all, rt.sys)
+	return all
+}
+
+// flushModified drains every thread's to-be-flushed list, writing the
+// corresponding cache lines back to NVMM. One flusher goroutine per
+// non-empty list unless SerialFlush is set (paper: "a pool of flusher
+// threads flushes data to NVMM in parallel during checkpoints").
+func (rt *Runtime) flushModified() (addrs, lines int) {
+	all := rt.allThreads()
+	if rt.cfg.SerialFlush {
+		f := rt.sysFlusher
+		for _, t := range all {
+			addrs += len(t.toFlush)
+			for _, a := range t.toFlush {
+				f.CLWB(a)
+			}
+			t.toFlush = t.toFlush[:0]
+		}
+		before := f.Flushes()
+		f.SFence()
+		lines = int(f.Flushes() - before)
+		return addrs, lines
+	}
+
+	var wg sync.WaitGroup
+	var lineCount atomic.Int64
+	for _, t := range all {
+		if len(t.toFlush) == 0 {
+			continue
+		}
+		addrs += len(t.toFlush)
+		wg.Add(1)
+		go func(t *Thread) {
+			defer wg.Done()
+			if t.flusher == nil {
+				t.flusher = rt.heap.NewFlusher()
+			}
+			f := t.flusher
+			before := f.Flushes()
+			for _, a := range t.toFlush {
+				f.CLWB(a)
+			}
+			f.SFence()
+			lineCount.Add(int64(f.Flushes() - before))
+			t.toFlush = t.toFlush[:0]
+		}(t)
+	}
+	wg.Wait()
+	return addrs, int(lineCount.Load())
+}
+
+// Stats returns cumulative checkpoint statistics.
+func (rt *Runtime) Stats() RuntimeStats {
+	return RuntimeStats{
+		Checkpoints: rt.nCheckpoints.Load(),
+		AddrsSeen:   rt.statAddrs.Load(),
+		LinesWrote:  rt.statLines.Load(),
+		GateWait:    time.Duration(rt.statGateNs.Load()),
+		FlushTime:   time.Duration(rt.statFlushNs.Load()),
+		TotalPause:  time.Duration(rt.statTotalNs.Load()),
+	}
+}

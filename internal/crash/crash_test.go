@@ -1,0 +1,68 @@
+package crash
+
+import (
+	"testing"
+	"time"
+)
+
+func soakConfig(seed int64) MapSoakConfig {
+	return MapSoakConfig{
+		Threads:      4,
+		Buckets:      512,
+		KeySpace:     2048,
+		OpsPerThread: 1 << 30, // run until crashed
+		EvictRate:    32,
+		Interval:     4 * time.Millisecond,
+		Seed:         seed,
+		HeapBytes:    128 << 20,
+	}
+}
+
+func TestMapSoakManySeeds(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rep, err := MapSoak(soakConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
+		}
+		if rep.OpsBeforeCrash == 0 {
+			t.Fatalf("seed %d: crash before any work", seed)
+		}
+	}
+}
+
+func TestQueueSoakManySeeds(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := soakConfig(seed)
+		rep, err := QueueSoak(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
+		}
+	}
+}
+
+func TestMapSoakEvictionRates(t *testing.T) {
+	// From almost-no eviction (nothing but checkpoint flushes reach NVMM)
+	// to aggressive eviction (most of the doomed epoch is already in NVMM),
+	// recovery must always land on the certified snapshot.
+	for _, rate := range []int{1, 64, 1024} {
+		cfg := soakConfig(3)
+		cfg.EvictRate = rate
+		rep, err := MapSoak(cfg)
+		if err != nil {
+			t.Fatalf("rate %d: %v (report %+v)", rate, err, rep)
+		}
+	}
+}
+
+func TestWARViolationIsObservable(t *testing.T) {
+	// The deliberately mis-instrumented counter (WAR without InCLL) must
+	// recover to a non-checkpointed value — demonstrating that the §3.3.2
+	// logging rule is load-bearing, and that our checker can see it.
+	detected, err := WARViolationDetected(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !detected {
+		t.Fatal("WAR violation went undetected — the experiment lost its teeth")
+	}
+}

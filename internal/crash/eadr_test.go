@@ -1,0 +1,142 @@
+package crash
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/structures"
+)
+
+// TestEADRSkipFlushRecovers exercises the §6 extension: on an eADR platform
+// (caches in the persistence domain) ResPCT can run with SkipFlush —
+// checkpoints only advance the epoch — because every store is already
+// durable in order. Recovery still rolls the crashed epoch back via InCLL,
+// so buffered durable linearizability is preserved without a single
+// explicit flush of the data.
+func TestEADRSkipFlushRecovers(t *testing.T) {
+	h := pmem.New(pmem.EADRConfig(64 << 20))
+	rt, err := core.NewRuntime(h, core.Config{Threads: 1, SkipFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := structures.NewRespctMap(rt, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		m.Insert(0, k, k+7)
+	}
+	rt.CheckpointIdle()
+	want := m.Snapshot()
+
+	// Doomed epoch: partial state sits in the "caches", which the eADR
+	// battery flushes at crash time — recovery must still undo it.
+	for k := uint64(1); k <= 50; k++ {
+		m.Insert(0, k, 9999)
+	}
+	for k := uint64(200); k <= 230; k++ {
+		m.Insert(0, k, k)
+	}
+	h.Crash()
+
+	rt2, rep, err := core.Recover(h, core.Config{Threads: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CellsRolledBack == 0 {
+		t.Fatal("eADR crash persisted the whole doomed epoch but nothing was rolled back")
+	}
+	m2, err := structures.OpenRespctMap(rt2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m2.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestEADRSoak runs the full multi-threaded soak on an eADR heap with
+// SkipFlush — the strongest form of the extension.
+func TestEADRSoak(t *testing.T) {
+	h := pmem.New(pmem.EADRConfig(128 << 20))
+	rt, err := core.NewRuntime(h, core.Config{Threads: 4, SkipFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := structures.NewRespctMap(rt, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckpointIdle()
+
+	snaps := map[uint64]map[uint64]uint64{}
+	rt.SetQuiescedHook(func(ending uint64) { snaps[ending] = m.Snapshot() })
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 20; i++ {
+			time.Sleep(2 * time.Millisecond)
+			rt.Checkpoint()
+		}
+		close(done)
+	}()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			x := uint64(th + 1)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					rt.Thread(th).CheckpointAllow()
+					return
+				default:
+				}
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				k := x%2048 + 1
+				if x%2 == 0 {
+					m.Insert(th, k, k)
+				} else {
+					m.Remove(th, k)
+				}
+				m.PerOp(th)
+			}
+		}(th)
+	}
+	<-done
+	h.Crash()
+	close(stop)
+	wg.Wait() // workers must be gone before Reopen rebuilds the volatile image
+
+	rt2, rep, err := core.Recover(h, core.Config{Threads: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snaps[rep.FailedEpoch-1]
+	m2, err := structures.OpenRespctMap(rt2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m2.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d keys, certified %d (failed epoch %d)", len(got), len(want), rep.FailedEpoch)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+}

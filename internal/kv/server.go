@@ -1,0 +1,304 @@
+package kv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/respct/respct/internal/core"
+)
+
+// Server exposes a Store over a memcached-style text protocol:
+//
+//	set <key> <bytes>\r\n<data>\r\n  -> STORED\r\n
+//	get <key>\r\n                    -> VALUE <key> <bytes>\r\n<data>\r\nEND\r\n  |  END\r\n
+//	delete <key>\r\n                 -> DELETED\r\n | NOT_FOUND\r\n
+//	quit\r\n
+//
+// Connections are accepted without limit (the YCSB evaluation uses 32
+// clients), but requests are executed by a fixed pool of worker threads
+// (the paper uses 4), each owning one store thread index. Workers follow
+// the blocking-call rule of §3.3.3: they open a checkpoint-allow window
+// while waiting for work.
+type Server struct {
+	store    Store
+	workers  int
+	ln       net.Listener
+	dispatch chan request
+	wg       sync.WaitGroup
+	connWG   sync.WaitGroup
+	closed   chan struct{}
+}
+
+type request struct {
+	op    byte // 's', 'g', 'd'
+	key   string
+	value []byte
+	reply chan response
+}
+
+type response struct {
+	value []byte
+	found bool
+}
+
+// allowIdle opens an allow window for stores that gate checkpoints.
+type idleAware interface {
+	Runtime() *core.Runtime
+}
+
+// NewServer starts a server for store with the given worker count,
+// listening on addr (e.g. "127.0.0.1:0"). Use Addr to discover the bound
+// address.
+func NewServer(store Store, workers int, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		store:    store,
+		workers:  workers,
+		ln:       ln,
+		dispatch: make(chan request, 256),
+		closed:   make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker(w)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connWG.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) worker(w int) {
+	defer s.wg.Done()
+	var th *core.Thread
+	if ia, ok := s.store.(idleAware); ok {
+		th = ia.Runtime().Thread(w)
+	}
+	for {
+		if th != nil {
+			th.CheckpointAllow()
+		}
+		req, ok := <-s.dispatch
+		if th != nil {
+			th.CheckpointPrevent(nil)
+		}
+		if !ok {
+			if th != nil {
+				th.CheckpointAllow()
+			}
+			return
+		}
+		var resp response
+		switch req.op {
+		case 's':
+			s.store.Set(w, req.key, req.value)
+			resp.found = true
+		case 'g':
+			resp.value, resp.found = s.store.Get(w, req.key)
+		case 'd':
+			resp.found = s.store.Delete(w, req.key)
+		}
+		s.store.PerOp(w)
+		req.reply <- resp
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	wtr := bufio.NewWriter(conn)
+	reply := make(chan response, 1)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "set":
+			if len(fields) != 3 {
+				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
+				wtr.Flush()
+				continue
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 || n > 1<<20 {
+				fmt.Fprintf(wtr, "CLIENT_ERROR bad length\r\n")
+				wtr.Flush()
+				continue
+			}
+			data := make([]byte, n+2)
+			if _, err := io.ReadFull(r, data); err != nil {
+				return
+			}
+			s.dispatch <- request{op: 's', key: fields[1], value: data[:n], reply: reply}
+			<-reply
+			fmt.Fprintf(wtr, "STORED\r\n")
+		case "get":
+			if len(fields) != 2 {
+				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
+				wtr.Flush()
+				continue
+			}
+			s.dispatch <- request{op: 'g', key: fields[1], reply: reply}
+			resp := <-reply
+			if resp.found {
+				fmt.Fprintf(wtr, "VALUE %s %d\r\n", fields[1], len(resp.value))
+				wtr.Write(resp.value)
+				wtr.WriteString("\r\n")
+			}
+			wtr.WriteString("END\r\n")
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
+				wtr.Flush()
+				continue
+			}
+			s.dispatch <- request{op: 'd', key: fields[1], reply: reply}
+			resp := <-reply
+			if resp.found {
+				fmt.Fprintf(wtr, "DELETED\r\n")
+			} else {
+				fmt.Fprintf(wtr, "NOT_FOUND\r\n")
+			}
+		case "quit":
+			wtr.Flush()
+			return
+		default:
+			fmt.Fprintf(wtr, "ERROR\r\n")
+		}
+		if err := wtr.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the server down: stop accepting, wait for connections to
+// drain, stop the workers.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+		return
+	default:
+		close(s.closed)
+	}
+	s.ln.Close()
+	s.connWG.Wait()
+	close(s.dispatch)
+	s.wg.Wait()
+	for w := 0; w < s.workers; w++ {
+		s.store.ThreadExit(w)
+	}
+}
+
+// Client is a minimal client for the server's protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects a client to addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	fmt.Fprintf(c.w, "set %s %d\r\n", key, len(value))
+	c.w.Write(value)
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "STORED") {
+		return fmt.Errorf("kv: set failed: %q", line)
+	}
+	return nil
+}
+
+// Get fetches key.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	fmt.Fprintf(c.w, "get %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return nil, false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, false, err
+	}
+	if strings.HasPrefix(line, "END") {
+		return nil, false, nil
+	}
+	if !strings.HasPrefix(line, "VALUE ") {
+		return nil, false, fmt.Errorf("kv: bad get response %q", line)
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	n, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return nil, false, err
+	}
+	data := make([]byte, n+2)
+	if _, err := io.ReadFull(c.r, data); err != nil {
+		return nil, false, err
+	}
+	if end, err := c.r.ReadString('\n'); err != nil || !strings.HasPrefix(end, "END") {
+		return nil, false, fmt.Errorf("kv: missing END (%q, %v)", end, err)
+	}
+	return data[:n], true, nil
+}
+
+// Delete removes key and reports whether it existed.
+func (c *Client) Delete(key string) (bool, error) {
+	fmt.Fprintf(c.w, "delete %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	return strings.HasPrefix(line, "DELETED"), nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.w, "quit\r\n")
+	c.w.Flush()
+	return c.conn.Close()
+}

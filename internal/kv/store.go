@@ -1,0 +1,373 @@
+// Package kv implements the Memcached-like key-value store of the paper's
+// §5.3: a hash table of key-value objects kept in NVMM, exposed over a
+// memcached-style TCP text protocol, with the "asynchronous writes"
+// consistency the paper evaluates — a SET returns as soon as the update is
+// applied in memory, and durability comes from the periodic checkpoint.
+package kv
+
+import (
+	"sync"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/structures"
+)
+
+// Store is the abstract KV interface the server and benchmarks drive. th is
+// the worker index (one goroutine per index at a time).
+type Store interface {
+	Set(th int, key string, value []byte)
+	Get(th int, key string) ([]byte, bool)
+	Delete(th int, key string) bool
+	PerOp(th int)
+	ThreadExit(th int)
+}
+
+// fnv1a hashes a key; 0 is avoided (reserved by the map layer).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+const kvStripes = 1024
+
+// RespctStore is the persistent store: a RespctMap from key hash to a chain
+// of record blocks. Records are write-once (key and value bytes are RAW
+// data), and every mutation is a logged pointer update, so SETs never log
+// value bytes — the ResPCT idiom.
+//
+// Record block layout: 1 InCLL cell (chain next), raw words:
+// [keyLen|valLen, key bytes..., value bytes...].
+type RespctStore struct {
+	rt    *core.Runtime
+	index *structures.RespctMap
+	locks [kvStripes]sync.Mutex
+}
+
+// NewRespctStore creates a store whose index lives under rootIdx.
+func NewRespctStore(rt *core.Runtime, rootIdx, buckets int) (*RespctStore, error) {
+	idx, err := structures.NewRespctMap(rt, rootIdx, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &RespctStore{rt: rt, index: idx}, nil
+}
+
+// OpenRespctStore reattaches after recovery.
+func OpenRespctStore(rt *core.Runtime, rootIdx int) (*RespctStore, error) {
+	idx, err := structures.OpenRespctMap(rt, rootIdx)
+	if err != nil {
+		return nil, err
+	}
+	return &RespctStore{rt: rt, index: idx}, nil
+}
+
+func recWords(keyLen, valLen int) int {
+	return 1 + (keyLen+7)/8 + (valLen+7)/8
+}
+
+func (s *RespctStore) newRecord(th int, next pmem.Addr, key string, value []byte) pmem.Addr {
+	t := s.rt.Thread(th)
+	rec := s.rt.Arena().Alloc(t, 1, recWords(len(key), len(value)))
+	if rec == pmem.NilAddr {
+		panic("kv: out of persistent memory")
+	}
+	t.Init(core.Cell(rec, 0), uint64(next))
+	raw := core.RawBase(rec, 1)
+	h := s.rt.Heap()
+	h.Store64(raw, uint64(len(key))<<32|uint64(len(value)))
+	keyBase := raw + 8
+	h.StoreBytes(keyBase, []byte(key))
+	valBase := keyBase + pmem.Addr((len(key)+7)/8*8)
+	h.StoreBytes(valBase, value)
+	t.AddModifiedRange(raw, 8+(len(key)+7)/8*8+(len(value)+7)/8*8)
+	return rec
+}
+
+func (s *RespctStore) recNext(rec pmem.Addr) core.InCLL { return core.Cell(rec, 0) }
+
+func (s *RespctStore) recKey(rec pmem.Addr) string {
+	raw := core.RawBase(rec, 1)
+	kl := int(s.rt.Heap().Load64(raw) >> 32)
+	return string(s.rt.Heap().LoadBytes(raw+8, kl))
+}
+
+func (s *RespctStore) recValue(rec pmem.Addr) []byte {
+	raw := core.RawBase(rec, 1)
+	lens := s.rt.Heap().Load64(raw)
+	kl, vl := int(lens>>32), int(lens&0xFFFFFFFF)
+	valBase := raw + 8 + pmem.Addr((kl+7)/8*8)
+	return s.rt.Heap().LoadBytes(valBase, vl)
+}
+
+// Set implements Store: records are immutable, so an update allocates the
+// new record and swings one logged pointer.
+func (s *RespctStore) Set(th int, key string, value []byte) {
+	hash := fnv1a(key)
+	mu := &s.locks[hash%kvStripes]
+	mu.Lock()
+	defer mu.Unlock()
+	t := s.rt.Thread(th)
+	head, ok := s.index.Get(th, hash)
+	if !ok {
+		rec := s.newRecord(th, pmem.NilAddr, key, value)
+		s.index.Insert(th, hash, uint64(rec))
+		return
+	}
+	// Walk the same-hash chain for this exact key.
+	var prev core.InCLL
+	for rec := pmem.Addr(head); rec != pmem.NilAddr; {
+		next := s.rt.ReadAddr(s.recNext(rec))
+		if s.recKey(rec) == key {
+			n := s.newRecord(th, next, key, value)
+			if prev.IsNil() {
+				s.index.Insert(th, hash, uint64(n))
+			} else {
+				t.UpdateAddr(prev, n)
+			}
+			s.rt.Arena().Free(t, rec)
+			return
+		}
+		prev = s.recNext(rec)
+		rec = next
+	}
+	// Hash collision with a different key: prepend.
+	rec := s.newRecord(th, pmem.Addr(head), key, value)
+	s.index.Insert(th, hash, uint64(rec))
+}
+
+// Get implements Store.
+func (s *RespctStore) Get(th int, key string) ([]byte, bool) {
+	hash := fnv1a(key)
+	mu := &s.locks[hash%kvStripes]
+	mu.Lock()
+	defer mu.Unlock()
+	head, ok := s.index.Get(th, hash)
+	if !ok {
+		return nil, false
+	}
+	for rec := pmem.Addr(head); rec != pmem.NilAddr; rec = s.rt.ReadAddr(s.recNext(rec)) {
+		if s.recKey(rec) == key {
+			return s.recValue(rec), true
+		}
+	}
+	return nil, false
+}
+
+// Delete implements Store.
+func (s *RespctStore) Delete(th int, key string) bool {
+	hash := fnv1a(key)
+	mu := &s.locks[hash%kvStripes]
+	mu.Lock()
+	defer mu.Unlock()
+	t := s.rt.Thread(th)
+	head, ok := s.index.Get(th, hash)
+	if !ok {
+		return false
+	}
+	var prev core.InCLL
+	for rec := pmem.Addr(head); rec != pmem.NilAddr; {
+		next := s.rt.ReadAddr(s.recNext(rec))
+		if s.recKey(rec) == key {
+			if prev.IsNil() {
+				if next == pmem.NilAddr {
+					s.index.Remove(th, hash)
+				} else {
+					s.index.Insert(th, hash, uint64(next))
+				}
+			} else {
+				t.UpdateAddr(prev, next)
+			}
+			s.rt.Arena().Free(t, rec)
+			return true
+		}
+		prev = s.recNext(rec)
+		rec = next
+	}
+	return false
+}
+
+// PerOp places the per-request restart point.
+func (s *RespctStore) PerOp(th int) { s.rt.Thread(th).RP(0x4b564f70) }
+
+// ThreadExit implements Store.
+func (s *RespctStore) ThreadExit(th int) { s.rt.Thread(th).CheckpointAllow() }
+
+// Runtime returns the store's runtime (for checkpointer control).
+func (s *RespctStore) Runtime() *core.Runtime { return s.rt }
+
+// TransientStore is the unmodified-memcached stand-in: records in a
+// simulated heap (DRAM- or NVMM-configured), volatile index, no fault
+// tolerance.
+type TransientStore struct {
+	h      *pmem.Heap
+	alloc  *pmem.Bump
+	mu     [kvStripes]sync.Mutex
+	shards [kvStripes]map[uint64]pmem.Addr // hash -> record
+	free   [kvStripes]map[int][]pmem.Addr  // free lists keyed by capacity in lines
+}
+
+// NewTransientStore creates a transient store on h.
+func NewTransientStore(h *pmem.Heap) *TransientStore {
+	s := &TransientStore{h: h, alloc: pmem.NewBumpAll(h)}
+	for i := range s.shards {
+		s.shards[i] = make(map[uint64]pmem.Addr)
+		s.free[i] = make(map[int][]pmem.Addr)
+	}
+	return s
+}
+
+// record: [keyLen|valLen, key..., val...]; collisions resolved by open
+// addressing over the 64-bit hash (second slot = hash+1, vanishingly rare).
+func (s *TransientStore) write(rec pmem.Addr, key string, value []byte) {
+	s.h.Store64(rec, uint64(len(key))<<32|uint64(len(value)))
+	s.h.StoreBytes(rec+8, []byte(key))
+	s.h.StoreBytes(rec+8+pmem.Addr((len(key)+7)/8*8), value)
+}
+
+func (s *TransientStore) readKey(rec pmem.Addr) string {
+	kl := int(s.h.Load64(rec) >> 32)
+	return string(s.h.LoadBytes(rec+8, kl))
+}
+
+func (s *TransientStore) readValue(rec pmem.Addr) []byte {
+	lens := s.h.Load64(rec)
+	kl, vl := int(lens>>32), int(lens&0xFFFFFFFF)
+	return s.h.LoadBytes(rec+8+pmem.Addr((kl+7)/8*8), vl)
+}
+
+// Set implements Store.
+func (s *TransientStore) Set(_ int, key string, value []byte) {
+	hash := fnv1a(key)
+	st := hash % kvStripes
+	s.mu[st].Lock()
+	defer s.mu[st].Unlock()
+	slot := hash
+	for {
+		rec, ok := s.shards[st][slot]
+		if !ok {
+			bytes := 8 * recWords(len(key), len(value))
+			lines := (bytes + pmem.LineSize - 1) / pmem.LineSize
+			var n pmem.Addr
+			if fl := s.free[st][lines]; len(fl) > 0 {
+				n = fl[len(fl)-1]
+				s.free[st][lines] = fl[:len(fl)-1]
+			} else {
+				n = s.alloc.Alloc(bytes)
+				if n == pmem.NilAddr {
+					panic("kv: transient store out of memory")
+				}
+			}
+			s.write(n, key, value)
+			s.shards[st][slot] = n
+			return
+		}
+		if s.readKey(rec) == key {
+			// In-place overwrite is only safe within the record's capacity;
+			// benchmark keys/values are fixed-size, but handle growth.
+			lens := s.h.Load64(rec)
+			oldCap := recWords(int(lens>>32), int(lens&0xFFFFFFFF))
+			if recWords(len(key), len(value)) <= oldCap {
+				s.write(rec, key, value)
+				return
+			}
+			oldLines := (8*oldCap + pmem.LineSize - 1) / pmem.LineSize
+			s.free[st][oldLines] = append(s.free[st][oldLines], rec)
+			bytes := 8 * recWords(len(key), len(value))
+			n := s.alloc.Alloc(bytes)
+			if n == pmem.NilAddr {
+				panic("kv: transient store out of memory")
+			}
+			s.write(n, key, value)
+			s.shards[st][slot] = n
+			return
+		}
+		slot++ // different key, same hash: probe
+	}
+}
+
+// Get implements Store.
+func (s *TransientStore) Get(_ int, key string) ([]byte, bool) {
+	hash := fnv1a(key)
+	st := hash % kvStripes
+	s.mu[st].Lock()
+	defer s.mu[st].Unlock()
+	slot := hash
+	for {
+		rec, ok := s.shards[st][slot]
+		if !ok {
+			return nil, false
+		}
+		if s.readKey(rec) == key {
+			return s.readValue(rec), true
+		}
+		slot++
+	}
+}
+
+// Delete implements Store.
+func (s *TransientStore) Delete(_ int, key string) bool {
+	hash := fnv1a(key)
+	st := hash % kvStripes
+	s.mu[st].Lock()
+	defer s.mu[st].Unlock()
+	slot := hash
+	for {
+		rec, ok := s.shards[st][slot]
+		if !ok {
+			return false
+		}
+		if s.readKey(rec) == key {
+			delete(s.shards[st], slot)
+			lens := s.h.Load64(rec)
+			lines := (8*recWords(int(lens>>32), int(lens&0xFFFFFFFF)) + pmem.LineSize - 1) / pmem.LineSize
+			s.free[st][lines] = append(s.free[st][lines], rec)
+			return true
+		}
+		slot++
+	}
+}
+
+// PerOp implements Store.
+func (s *TransientStore) PerOp(int) {}
+
+// ThreadExit implements Store.
+func (s *TransientStore) ThreadExit(int) {}
+
+// ensure interface compliance
+var (
+	_ Store = (*RespctStore)(nil)
+	_ Store = (*TransientStore)(nil)
+)
+
+// Count returns the number of live keys in a RespctStore (test helper).
+func (s *RespctStore) Count() int {
+	n := 0
+	snap := s.index.Snapshot()
+	for _, head := range snap {
+		for rec := pmem.Addr(head); rec != pmem.NilAddr; rec = s.rt.ReadAddr(s.recNext(rec)) {
+			n++
+		}
+	}
+	return n
+}
+
+// SnapshotLogical returns the store's full logical contents. Callers must
+// ensure quiescence (crash checkers run it inside the checkpoint's quiesced
+// hook).
+func (s *RespctStore) SnapshotLogical() map[string]string {
+	out := make(map[string]string)
+	for _, head := range s.index.Snapshot() {
+		for rec := pmem.Addr(head); rec != pmem.NilAddr; rec = s.rt.ReadAddr(s.recNext(rec)) {
+			out[s.recKey(rec)] = string(s.recValue(rec))
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package pmem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Bump is a simple line-aligned bump allocator over a heap region. Its
+// metadata (the cursor) is volatile: it does not survive a crash by itself.
+// It is meant for baseline systems that reconstruct or re-log their
+// allocation state in their own way (e.g. the Montage-style copy-on-write
+// baseline scans payload blocks, the shadow baseline rebuilds its twins).
+// The crash-consistent allocator used by ResPCT proper lives in
+// internal/core.
+type Bump struct {
+	h     *Heap
+	mu    sync.Mutex
+	start Addr
+	end   Addr
+	cur   Addr
+}
+
+// NewBump creates a bump allocator over [start, end). Both bounds must be
+// line-aligned; start must be at or past the heap's data area.
+func NewBump(h *Heap, start, end Addr) *Bump {
+	if start%LineSize != 0 || end%LineSize != 0 {
+		panic("pmem: Bump bounds must be line-aligned")
+	}
+	if start < h.DataStart() || end > Addr(h.Size()) || start >= end {
+		panic(fmt.Sprintf("pmem: bad Bump region [%#x,%#x)", uint64(start), uint64(end)))
+	}
+	return &Bump{h: h, start: start, end: end, cur: start}
+}
+
+// NewBumpAll creates a bump allocator over the heap's whole data area.
+func NewBumpAll(h *Heap) *Bump {
+	return NewBump(h, h.DataStart(), Addr(h.Size()))
+}
+
+// Alloc returns a line-aligned block of at least size bytes, or NilAddr if
+// the region is exhausted.
+func (b *Bump) Alloc(size int) Addr {
+	if size <= 0 {
+		size = WordSize
+	}
+	need := Addr(AlignUp(Addr(size), LineSize))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cur+need > b.end {
+		return NilAddr
+	}
+	a := b.cur
+	b.cur += need
+	return a
+}
+
+// Used returns the number of bytes handed out.
+func (b *Bump) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int64(b.cur - b.start)
+}
+
+// Remaining returns the number of bytes still available.
+func (b *Bump) Remaining() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int64(b.end - b.cur)
+}
+
+// Reset rewinds the allocator to its start. Callers must know no live data
+// remains in the region.
+func (b *Bump) Reset() {
+	b.mu.Lock()
+	b.cur = b.start
+	b.mu.Unlock()
+}
+
+// SetCursor repositions the bump cursor (line-aligned). Recovery code that
+// reconstructs allocation state by scanning uses it.
+func (b *Bump) SetCursor(a Addr) {
+	if a%LineSize != 0 || a < b.start || a > b.end {
+		panic("pmem: bad Bump cursor")
+	}
+	b.mu.Lock()
+	b.cur = a
+	b.mu.Unlock()
+}
+
+// Cursor returns the current bump position.
+func (b *Bump) Cursor() Addr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cur
+}
+
+// Region returns the allocator's bounds.
+func (b *Bump) Region() (start, end Addr) { return b.start, b.end }

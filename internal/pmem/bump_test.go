@@ -1,0 +1,101 @@
+package pmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBumpAllocAligned(t *testing.T) {
+	h := New(Config{Size: 1 << 20})
+	b := NewBumpAll(h)
+	seen := map[Addr]bool{}
+	for i := 0; i < 100; i++ {
+		a := b.Alloc(24)
+		if a == NilAddr {
+			t.Fatal("exhausted unexpectedly")
+		}
+		if a%LineSize != 0 {
+			t.Fatalf("alloc %#x not line aligned", uint64(a))
+		}
+		if seen[a] {
+			t.Fatalf("alloc returned %#x twice", uint64(a))
+		}
+		seen[a] = true
+	}
+}
+
+func TestBumpExhaustion(t *testing.T) {
+	h := New(Config{Size: 1 << 20})
+	start := h.DataStart()
+	b := NewBump(h, start, start+4*LineSize)
+	for i := 0; i < 4; i++ {
+		if b.Alloc(1) == NilAddr {
+			t.Fatalf("alloc %d failed early", i)
+		}
+	}
+	if b.Alloc(1) != NilAddr {
+		t.Fatal("alloc succeeded past the region end")
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", b.Remaining())
+	}
+	b.Reset()
+	if b.Alloc(1) == NilAddr {
+		t.Fatal("alloc after Reset failed")
+	}
+}
+
+func TestBumpCursor(t *testing.T) {
+	h := New(Config{Size: 1 << 20})
+	b := NewBumpAll(h)
+	b.Alloc(100)
+	cur := b.Cursor()
+	if cur != b.mustStart()+2*LineSize {
+		t.Fatalf("cursor = %#x after 100-byte alloc, want start+128", uint64(cur))
+	}
+	b.SetCursor(b.mustStart())
+	if b.Used() != 0 {
+		t.Fatalf("Used = %d after rewind", b.Used())
+	}
+}
+
+func (b *Bump) mustStart() Addr { s, _ := b.Region(); return s }
+
+// Property: allocations never overlap and are always inside the region.
+func TestQuickBumpNoOverlap(t *testing.T) {
+	h := New(Config{Size: 1 << 22})
+	f := func(sizes []uint16) bool {
+		b := NewBumpAll(h)
+		type block struct {
+			a Addr
+			n int
+		}
+		var blocks []block
+		for _, s := range sizes {
+			n := int(s%1024) + 1
+			a := b.Alloc(n)
+			if a == NilAddr {
+				break
+			}
+			start, end := b.Region()
+			if a < start || a+Addr(AlignUp(Addr(n), LineSize)) > end {
+				return false
+			}
+			blocks = append(blocks, block{a, n})
+		}
+		for i := 0; i < len(blocks); i++ {
+			for j := i + 1; j < len(blocks); j++ {
+				ai, aj := blocks[i], blocks[j]
+				endI := ai.a + Addr(AlignUp(Addr(ai.n), LineSize))
+				endJ := aj.a + Addr(AlignUp(Addr(aj.n), LineSize))
+				if ai.a < endJ && aj.a < endI {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestChaosPCSOUnderConcurrency is the central hardware-model invariant:
+// with writers hammering InCLL-shaped lines (backup word written before
+// record word) while the evictor writes lines back at random, the persistent
+// image must never show a record value newer than its backup value.
+func TestChaosPCSOUnderConcurrency(t *testing.T) {
+	h := New(Config{Size: 1 << 20, Chaos: true, Seed: 42})
+	const (
+		nVars    = 64
+		nWriters = 4
+		nRounds  = 2000
+	)
+	base := h.DataStart()
+	varAddr := func(i int) Addr { return base + Addr(i*LineSize) }
+	// Layout per line: word0 = record, word1 = backup, word2 = version.
+	ev := NewEvictor(h, 16, 1)
+	ev.Start()
+
+	var wg sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for r := 0; r < nRounds; r++ {
+				i := rng.Intn(nVars/nWriters) + w*(nVars/nWriters) // disjoint vars per writer (race-free model)
+				a := varAddr(i)
+				cur := h.Load64(a)
+				// InCLL discipline: backup then record, same line.
+				h.Store64(a+8, cur)
+				h.Store64(a, cur+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	ev.Stop()
+	h.Crash()
+	h.Reopen()
+
+	for i := 0; i < nVars; i++ {
+		a := varAddr(i)
+		record := h.Load64(a)
+		backup := h.Load64(a + 8)
+		// record was always written as backup+1 in the same line-atomic
+		// window, so any persisted line must satisfy record == backup+1,
+		// or record==backup==0 (never evicted), or record == backup
+		// (evicted between the backup store and the record store).
+		if !(record == backup+1 || record == backup) {
+			t.Fatalf("var %d: persisted record=%d backup=%d violates same-line ordering", i, record, backup)
+		}
+	}
+}
+
+func TestEvictorStartRequiresChaos(t *testing.T) {
+	h := New(Config{Size: 1 << 20})
+	ev := NewEvictor(h, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Evictor.Start on a non-chaos heap must panic")
+		}
+	}()
+	ev.Start()
+}
+
+func TestEvictorStopIdempotent(t *testing.T) {
+	h := New(Config{Size: 1 << 20, Chaos: true})
+	ev := NewEvictor(h, 4, 1)
+	ev.Start()
+	ev.Stop()
+	ev.Stop() // must not panic or deadlock
+}
+
+func TestEvictDirtyFractionDeterministic(t *testing.T) {
+	mk := func() *Heap {
+		h := New(Config{Size: 1 << 20, Chaos: true})
+		for i := 0; i < 256; i++ {
+			h.Store64(h.DataStart()+Addr(i*LineSize), uint64(i))
+		}
+		return h
+	}
+	h1, h2 := mk(), mk()
+	n1 := h1.EvictDirtyFraction(0.5, 7)
+	n2 := h2.EvictDirtyFraction(0.5, 7)
+	if n1 != n2 {
+		t.Fatalf("same seed evicted different counts: %d vs %d", n1, n2)
+	}
+	if n1 == 0 || n1 == 256 {
+		t.Fatalf("fraction 0.5 evicted %d of 256 lines", n1)
+	}
+	for i := 0; i < 256; i++ {
+		a := h1.DataStart() + Addr(i*LineSize)
+		if h1.LoadPersistent64(a) != h2.LoadPersistent64(a) {
+			t.Fatalf("line %d differs between equal-seed runs", i)
+		}
+	}
+}
+
+// Property: for any sequence of (store, evict) steps on a single line, the
+// persistent image always equals some prefix-consistent snapshot of the
+// volatile line — i.e. the line content at the moment of its last write-back.
+func TestQuickLineWritebackIsSnapshot(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		h := New(Config{Size: 1 << 16, Seed: seed})
+		a := h.DataStart()
+		var lastSnapshot [WordsPerLine]uint64
+		val := uint64(0)
+		for _, op := range ops {
+			word := int(op % WordsPerLine)
+			if op%3 == 0 {
+				h.EvictLine(LineOf(a))
+				for i := 0; i < WordsPerLine; i++ {
+					lastSnapshot[i] = h.Load64(a + Addr(i*8))
+				}
+			} else {
+				val++
+				h.Store64(a+Addr(word*8), val)
+			}
+		}
+		for i := 0; i < WordsPerLine; i++ {
+			if h.LoadPersistent64(a+Addr(i*8)) != lastSnapshot[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StoreBytes/LoadBytes round-trips arbitrary byte strings.
+func TestQuickBytesRoundTrip(t *testing.T) {
+	h := New(Config{Size: 1 << 20})
+	f := func(b []byte) bool {
+		if len(b) > 4096 {
+			b = b[:4096]
+		}
+		a := h.DataStart()
+		h.StoreBytes(a, b)
+		got := h.LoadBytes(a, len(b))
+		return string(got) == string(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AlignUp result is aligned, >= input, and < input+align.
+func TestQuickAlignUp(t *testing.T) {
+	f := func(v uint32, shift uint8) bool {
+		align := uint64(1) << (shift % 12)
+		got := uint64(AlignUp(Addr(v), align))
+		return got%align == 0 && got >= uint64(v) && got < uint64(v)+align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStoresDistinctLines(t *testing.T) {
+	h := New(Config{Size: 1 << 22, Chaos: true})
+	const goroutines = 8
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := h.NewFlusher()
+			for i := 0; i < perG; i++ {
+				a := h.DataStart() + Addr((g*perG+i)*LineSize)
+				h.Store64(a, uint64(g*perG+i+1))
+				f.Persist(a)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := 0; k < goroutines*perG; k++ {
+		a := h.DataStart() + Addr(k*LineSize)
+		if got := h.LoadPersistent64(a); got != uint64(k+1) {
+			t.Fatalf("slot %d = %d, want %d", k, got, k+1)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package pmem
+
+import "slices"
+
+// Flusher is a per-goroutine handle for issuing asynchronous cache-line
+// write-backs, mirroring the pwb/psync pair of the paper's system model
+// (clwb/sfence on x86): CLWB initiates a write-back, SFence completes all
+// write-backs this Flusher initiated.
+//
+// A Flusher must not be shared between goroutines.
+type Flusher struct {
+	h       *Heap
+	pending []int // line indices queued by CLWB and not yet fenced
+	flushes uint64
+	fences  uint64
+}
+
+// NewFlusher returns a write-back handle for the calling goroutine.
+func (h *Heap) NewFlusher() *Flusher {
+	return &Flusher{h: h, pending: make([]int, 0, 64)}
+}
+
+// CLWB queues a write-back of the cache line containing a. Like the hardware
+// instruction it is asynchronous: the line is guaranteed to be in the
+// persistent image only after the next SFence. The line may also reach the
+// persistent image earlier (eviction can always happen first).
+func (f *Flusher) CLWB(a Addr) {
+	f.pending = append(f.pending, int(a/LineSize))
+}
+
+// SFence completes every write-back queued by this Flusher, charging the
+// configured flush/fence latency. Duplicate lines in the queue are written
+// back once (the hardware would coalesce them in the same way only within
+// one fence window, which is exactly this window).
+func (f *Flusher) SFence() {
+	h := f.h
+	if len(f.pending) == 1 {
+		// Fast path: the common single-line flush of per-op durability.
+		line := f.pending[0]
+		h.writeBackLine(line)
+		h.flushes.Add(1)
+		f.flushes++
+		if h.cfg.FlushPenalty > 0 {
+			spin(h.cfg.FlushPenalty)
+		}
+	} else if len(f.pending) > 1 {
+		// Coalesce duplicates by sorting — far cheaper than a map for the
+		// large batches a checkpoint drains.
+		slices.Sort(f.pending)
+		prev := -1
+		for _, line := range f.pending {
+			if line == prev {
+				continue
+			}
+			prev = line
+			h.writeBackLine(line)
+			h.flushes.Add(1)
+			f.flushes++
+			if h.cfg.FlushPenalty > 0 {
+				spin(h.cfg.FlushPenalty)
+			}
+		}
+	}
+	f.pending = f.pending[:0]
+	h.fences.Add(1)
+	f.fences++
+	if h.cfg.FencePenalty > 0 {
+		spin(h.cfg.FencePenalty)
+	}
+}
+
+// Persist is the common clwb+sfence pair for a single address.
+func (f *Flusher) Persist(a Addr) {
+	f.CLWB(a)
+	f.SFence()
+}
+
+// PersistRange queues write-backs for every line overlapping [a, a+n) and
+// fences once.
+func (f *Flusher) PersistRange(a Addr, n int) {
+	if n <= 0 {
+		f.SFence()
+		return
+	}
+	first := int(a / LineSize)
+	last := int((a + Addr(n) - 1) / LineSize)
+	for line := first; line <= last; line++ {
+		f.pending = append(f.pending, line)
+	}
+	f.SFence()
+}
+
+// Pending returns the number of queued, un-fenced write-backs.
+func (f *Flusher) Pending() int { return len(f.pending) }
+
+// Flushes returns the number of line write-backs this Flusher completed.
+func (f *Flusher) Flushes() uint64 { return f.flushes }
+
+// Fences returns the number of SFence calls on this Flusher.
+func (f *Flusher) Fences() uint64 { return f.fences }

@@ -1,0 +1,39 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpenSnapshot asserts Open never panics on arbitrary input: corrupt
+// snapshots must surface as errors.
+func FuzzOpenSnapshot(f *testing.F) {
+	// Seed with a valid snapshot and a few mutations of it.
+	h := New(Config{Size: 1 << 16})
+	h.Store64(h.DataStart(), 42)
+	h.NewFlusher().Persist(h.DataStart())
+	var buf bytes.Buffer
+	if err := h.Snapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("RESPCTPM garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Open(bytes.NewReader(data), Config{})
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted snapshots must be fully usable.
+		if err := h.CheckMagic(); err != nil {
+			t.Fatalf("Open accepted a snapshot failing CheckMagic: %v", err)
+		}
+		h.Store64(h.DataStart(), 1)
+		if h.Load64(h.DataStart()) != 1 {
+			t.Fatal("opened heap not usable")
+		}
+	})
+}

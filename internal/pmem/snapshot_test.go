@@ -1,0 +1,77 @@
+package pmem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	h := New(Config{Size: 1 << 18})
+	f := h.NewFlusher()
+	a := h.DataStart()
+	for i := 0; i < 100; i++ {
+		h.Store64(a+Addr(i*8), uint64(i)*3+1)
+	}
+	f.PersistRange(a, 800)
+	h.SetRoot(3, uint64(a))
+	f.Persist(h.RootAddr(3))
+
+	var buf bytes.Buffer
+	if err := h.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Size() != h.Size() {
+		t.Fatalf("size mismatch %d vs %d", h2.Size(), h.Size())
+	}
+	if got := h2.Root(3); got != uint64(a) {
+		t.Fatalf("root = %#x, want %#x", got, uint64(a))
+	}
+	for i := 0; i < 100; i++ {
+		if got := h2.Load64(a + Addr(i*8)); got != uint64(i)*3+1 {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+}
+
+func TestSnapshotExcludesUnflushedData(t *testing.T) {
+	h := New(Config{Size: 1 << 18})
+	a := h.DataStart()
+	h.Store64(a, 123) // dirty, never flushed
+	var buf bytes.Buffer
+	if err := h.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Load64(a); got != 0 {
+		t.Fatalf("unflushed store leaked into snapshot: %d", got)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	if _, err := Open(strings.NewReader("not a snapshot at all"), Config{}); err == nil {
+		t.Fatal("Open accepted garbage")
+	}
+	if _, err := Open(strings.NewReader(""), Config{}); err == nil {
+		t.Fatal("Open accepted empty input")
+	}
+}
+
+func TestOpenRejectsTruncated(t *testing.T) {
+	h := New(Config{Size: 1 << 16})
+	var buf bytes.Buffer
+	if err := h.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Open(bytes.NewReader(trunc), Config{}); err == nil {
+		t.Fatal("Open accepted truncated snapshot")
+	}
+}

@@ -1,0 +1,24 @@
+package pmem
+
+import "sync/atomic"
+
+// spinSink defeats dead-code elimination of the calibration loop.
+var spinSink atomic.Uint64
+
+// spin burns roughly n iterations of a cheap integer recurrence. It is the
+// latency model's unit: Config penalties are expressed in spin iterations.
+// One iteration is on the order of a nanosecond on current hardware.
+//
+//go:noinline
+func spin(n int) {
+	x := uint64(88172645463325252)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	spinSink.Store(x)
+}
+
+// Spin exposes the latency-model spin for calibration tests and for layers
+// (e.g. application kernels) that want to model off-heap compute cost in the
+// same units.
+func Spin(n int) { spin(n) }

@@ -1,0 +1,164 @@
+package structures
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// RespctLog is a persistent append-only record log managed by ResPCT — the
+// canonical RAW-data structure of the paper's §3.3.2: record bytes are
+// written exactly once (plain tracked stores, no undo logging), and the only
+// logged variables are the tail cursor and record count, whose rollback
+// makes a crashed epoch's appends vanish atomically.
+//
+// Records are length-prefixed byte strings packed into fixed-size segment
+// blocks; a segment chain grows as needed. Appends take the log's mutex;
+// reads iterate a consistent prefix under the same mutex.
+type RespctLog struct {
+	rt   *core.Runtime
+	desc pmem.Addr
+	mu   sync.Mutex
+
+	// volatile mirrors of the persistent cursor (rebuilt on open)
+	tailSeg pmem.Addr
+}
+
+const (
+	// logSegPayloadWords is the per-segment record area: segments are
+	// blocks of [next(1 raw word) | payload...].
+	logSegPayloadWords = 2040 // 16 KiB segments: 1 + 2040 words -> 16 KiB class
+	logSegHeaderWords  = 1    // word 0: next segment address
+
+	// descriptor cells: 0 count, 1 tail offset (words into current seg
+	// payload), 2 tail segment address; raw word 0: head segment address.
+	logDescCells = 3
+
+	rpLogOp uint64 = 0x4c6f674f70 // "LogOp"
+
+	// logSegEndMarker in a length word tells readers the writer moved to
+	// the next segment.
+	logSegEndMarker = ^uint64(0)
+)
+
+// NewRespctLog creates an empty persistent log published under heap root
+// slot rootIdx.
+func NewRespctLog(rt *core.Runtime, rootIdx int) (*RespctLog, error) {
+	sys := rt.Sys()
+	desc := rt.Arena().Alloc(sys, logDescCells, 1)
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: heap exhausted allocating log descriptor")
+	}
+	seg := rt.Arena().AllocRaw(sys, logSegHeaderWords+logSegPayloadWords)
+	if seg == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: heap exhausted allocating log segment")
+	}
+	sys.StoreTracked(seg, 0) // next = nil
+	sys.Init(core.Cell(desc, 0), 0)
+	sys.Init(core.Cell(desc, 1), 0)
+	sys.Init(core.Cell(desc, 2), uint64(seg))
+	sys.StoreTracked(core.RawBase(desc, logDescCells), uint64(seg))
+	sys.Update(rt.RootInCLL(rootIdx), uint64(desc))
+	return &RespctLog{rt: rt, desc: desc, tailSeg: seg}, nil
+}
+
+// OpenRespctLog reattaches to a log published under rootIdx after recovery.
+func OpenRespctLog(rt *core.Runtime, rootIdx int) (*RespctLog, error) {
+	desc := rt.ReadAddr(rt.RootInCLL(rootIdx))
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: no log registered under root %d", rootIdx)
+	}
+	l := &RespctLog{rt: rt, desc: desc}
+	l.tailSeg = rt.ReadAddr(core.Cell(desc, 2))
+	return l, nil
+}
+
+func (l *RespctLog) countCell() core.InCLL { return core.Cell(l.desc, 0) }
+func (l *RespctLog) offCell() core.InCLL   { return core.Cell(l.desc, 1) }
+func (l *RespctLog) tailCell() core.InCLL  { return core.Cell(l.desc, 2) }
+func (l *RespctLog) headAddr() pmem.Addr   { return core.RawBase(l.desc, logDescCells) }
+func segPayload(seg pmem.Addr) pmem.Addr   { return seg + logSegHeaderWords*8 }
+func segNext(h *pmem.Heap, s pmem.Addr) pmem.Addr {
+	return pmem.Addr(h.Load64(s))
+}
+
+// Append adds a record (at most 8 KiB) and returns its index. th is the
+// calling worker.
+func (l *RespctLog) Append(th int, record []byte) uint64 {
+	if len(record) > logSegPayloadWords*4 {
+		panic("structures: log record too large")
+	}
+	t := l.rt.Thread(th)
+	h := l.rt.Heap()
+	needWords := 1 + (len(record)+7)/8 // length word + payload
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	off := int(l.rt.Read(l.offCell()))
+	if off+needWords > logSegPayloadWords {
+		// Grow: mark the leftover space, then allocate and link a fresh segment.
+		// The link and marker are raw write-once words; rolling back the
+		// tail cursor and count is what un-publishes them after a crash.
+		if off < logSegPayloadWords {
+			t.StoreTracked(segPayload(l.tailSeg)+pmem.Addr(off*8), logSegEndMarker)
+		}
+		seg := l.rt.Arena().AllocRaw(t, logSegHeaderWords+logSegPayloadWords)
+		if seg == pmem.NilAddr {
+			panic("structures: RespctLog out of persistent memory")
+		}
+		t.StoreTracked(seg, 0)
+		t.StoreTracked(l.tailSeg, uint64(seg))
+		t.UpdateAddr(l.tailCell(), seg)
+		t.Update(l.offCell(), 0)
+		l.tailSeg = seg
+		off = 0
+	}
+	base := segPayload(l.tailSeg) + pmem.Addr(off*8)
+	h.Store64(base, uint64(len(record)))
+	h.StoreBytes(base+8, record)
+	t.AddModifiedRange(base, needWords*8)
+	t.Update(l.offCell(), uint64(off+needWords))
+	t.Update(l.countCell(), l.rt.Read(l.countCell())+1)
+	return l.rt.Read(l.countCell()) - 1
+}
+
+// Len returns the number of records.
+func (l *RespctLog) Len() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rt.Read(l.countCell())
+}
+
+// ForEach calls fn with each record in append order until fn returns false.
+// It holds the log's mutex for the duration.
+func (l *RespctLog) ForEach(fn func(i uint64, record []byte) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := l.rt.Heap()
+	count := l.rt.Read(l.countCell())
+	seg := pmem.Addr(h.Load64(l.headAddr()))
+	off := 0
+	for i := uint64(0); i < count; i++ {
+		// Advance past exhausted segments (explicit end markers, or no
+		// room left for even a length word).
+		for off >= logSegPayloadWords || h.Load64(segPayload(seg)+pmem.Addr(off*8)) == logSegEndMarker {
+			seg = segNext(h, seg)
+			off = 0
+		}
+		base := segPayload(seg) + pmem.Addr(off*8)
+		n := int(h.Load64(base))
+		rec := h.LoadBytes(base+8, n)
+		if !fn(i, rec) {
+			return
+		}
+		off += 1 + (n+7)/8
+	}
+}
+
+// PerOp places the per-operation restart point.
+func (l *RespctLog) PerOp(th int) { l.rt.Thread(th).RP(rpLogOp) }
+
+// ThreadExit marks worker th finished.
+func (l *RespctLog) ThreadExit(th int) { l.rt.Thread(th).CheckpointAllow() }

@@ -1,0 +1,127 @@
+package structures
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// RespctQueue is the paper's single-lock FIFO made persistent with ResPCT.
+// The queue descriptor holds head and tail as InCLL cells; nodes hold an
+// InCLL next pointer and a write-once raw value. As the paper's discussion
+// (§6) notes, InCLL changes the data layout: elements live in arena blocks
+// rather than a contiguous array, and are addressed through cells.
+type RespctQueue struct {
+	rt   *core.Runtime
+	desc pmem.Addr
+	head core.InCLL
+	tail core.InCLL
+	mu   sync.Mutex
+}
+
+const (
+	qNodeCells = 1 // cell 0: next
+	qNodeRaw   = 1 // word 0: value
+
+	rpQueueOp uint64 = 0x51756575654f70 // "QueueOp"
+)
+
+// NewRespctQueue creates an empty persistent queue published under heap root
+// slot rootIdx.
+func NewRespctQueue(rt *core.Runtime, rootIdx int) (*RespctQueue, error) {
+	sys := rt.Sys()
+	desc := rt.Arena().AllocCells(sys, 2)
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: heap exhausted allocating queue descriptor")
+	}
+	sys.Init(core.Cell(desc, 0), 0)
+	sys.Init(core.Cell(desc, 1), 0)
+	sys.Update(rt.RootInCLL(rootIdx), uint64(desc))
+	return &RespctQueue{rt: rt, desc: desc, head: core.Cell(desc, 0), tail: core.Cell(desc, 1)}, nil
+}
+
+// OpenRespctQueue reattaches to a queue published under rootIdx after
+// recovery.
+func OpenRespctQueue(rt *core.Runtime, rootIdx int) (*RespctQueue, error) {
+	desc := rt.ReadAddr(rt.RootInCLL(rootIdx))
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: no queue registered under root %d", rootIdx)
+	}
+	return &RespctQueue{rt: rt, desc: desc, head: core.Cell(desc, 0), tail: core.Cell(desc, 1)}, nil
+}
+
+func (q *RespctQueue) nodeNext(n pmem.Addr) core.InCLL { return core.Cell(n, 0) }
+func (q *RespctQueue) nodeVal(n pmem.Addr) pmem.Addr   { return core.RawBase(n, qNodeCells) }
+
+// Enqueue implements Queue.
+func (q *RespctQueue) Enqueue(th int, v uint64) {
+	t := q.rt.Thread(th)
+	n := q.rt.Arena().Alloc(t, qNodeCells, qNodeRaw)
+	if n == pmem.NilAddr {
+		panic("structures: RespctQueue out of persistent memory")
+	}
+	t.Init(q.nodeNext(n), 0)
+	t.StoreTracked(q.nodeVal(n), v)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	tail := q.rt.ReadAddr(q.tail)
+	if tail == pmem.NilAddr {
+		t.UpdateAddr(q.head, n)
+		t.UpdateAddr(q.tail, n)
+		return
+	}
+	t.UpdateAddr(q.nodeNext(tail), n)
+	t.UpdateAddr(q.tail, n)
+}
+
+// Dequeue implements Queue.
+func (q *RespctQueue) Dequeue(th int) (uint64, bool) {
+	t := q.rt.Thread(th)
+	q.mu.Lock()
+	n := q.rt.ReadAddr(q.head)
+	if n == pmem.NilAddr {
+		q.mu.Unlock()
+		return 0, false
+	}
+	v := q.rt.Heap().Load64(q.nodeVal(n))
+	next := q.rt.ReadAddr(q.nodeNext(n))
+	t.UpdateAddr(q.head, next)
+	if next == pmem.NilAddr {
+		t.UpdateAddr(q.tail, 0)
+	}
+	q.mu.Unlock()
+	q.rt.Arena().Free(t, n)
+	return v, true
+}
+
+// PerOp places the per-operation restart point.
+func (q *RespctQueue) PerOp(th int) { q.rt.Thread(th).RP(rpQueueOp) }
+
+// ThreadExit implements Queue.
+func (q *RespctQueue) ThreadExit(th int) { q.rt.Thread(th).CheckpointAllow() }
+
+// Close implements Queue.
+func (q *RespctQueue) Close() {}
+
+// Len counts queued elements (test helper).
+func (q *RespctQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	total := 0
+	for n := q.rt.ReadAddr(q.head); n != pmem.NilAddr; n = q.rt.ReadAddr(q.nodeNext(n)) {
+		total++
+	}
+	return total
+}
+
+// Snapshot returns the queued values front to back (crash-check helper).
+// Callers must ensure quiescence.
+func (q *RespctQueue) Snapshot() []uint64 {
+	var out []uint64
+	for n := q.rt.ReadAddr(q.head); n != pmem.NilAddr; n = q.rt.ReadAddr(q.nodeNext(n)) {
+		out = append(out, q.rt.Heap().Load64(q.nodeVal(n)))
+	}
+	return out
+}

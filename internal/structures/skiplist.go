@@ -1,0 +1,376 @@
+package structures
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// SortedMap is an ordered map of 8-byte keys to 8-byte values with range
+// scans. Key 0 is reserved.
+type SortedMap interface {
+	Insert(th int, key, value uint64) bool
+	Remove(th int, key uint64) bool
+	Get(th int, key uint64) (uint64, bool)
+	// Scan calls fn for each pair with from <= key <= to in ascending key
+	// order until fn returns false.
+	Scan(th int, from, to uint64, fn func(key, value uint64) bool)
+	PerOp(th int)
+	ThreadExit(th int)
+	Close()
+}
+
+const (
+	skipMaxLevel = 16
+
+	rpSkipOp uint64 = 0x536b69704f70 // "SkipOp"
+)
+
+// skipLevel derives a deterministic tower height from the key, so the
+// structure's shape is reproducible across runs and across the transient
+// and persistent variants (expected height distribution ~ geometric(1/2)).
+func skipLevel(key uint64) int {
+	h := hashMix(key * 0x9E3779B97F4A7C15)
+	lvl := 1
+	for h&1 == 1 && lvl < skipMaxLevel {
+		lvl++
+		h >>= 1
+	}
+	return lvl
+}
+
+// RespctSkipList is a persistent sorted map built on ResPCT: a skiplist
+// whose forward pointers and values are InCLL cells. A single mutex guards
+// mutations (the paper's lock-based programming model; scans and gets take
+// it too for strict consistency). All pointer updates of an insertion or
+// removal are individually undo-logged, so a crashed epoch rolls the whole
+// structural change back as one — no partial-link states can survive
+// recovery.
+//
+// Node payload: cells [next_0 .. next_{level-1}, value], raw words
+// [key, level].
+type RespctSkipList struct {
+	rt   *core.Runtime
+	desc pmem.Addr // head tower: skipMaxLevel next cells
+	mu   sync.Mutex
+}
+
+// NewRespctSkipList creates an empty persistent sorted map published under
+// heap root slot rootIdx.
+func NewRespctSkipList(rt *core.Runtime, rootIdx int) (*RespctSkipList, error) {
+	sys := rt.Sys()
+	desc := rt.Arena().AllocCells(sys, skipMaxLevel)
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: heap exhausted allocating skiplist head")
+	}
+	for i := 0; i < skipMaxLevel; i++ {
+		sys.Init(core.Cell(desc, i), 0)
+	}
+	sys.Update(rt.RootInCLL(rootIdx), uint64(desc))
+	return &RespctSkipList{rt: rt, desc: desc}, nil
+}
+
+// OpenRespctSkipList reattaches after recovery.
+func OpenRespctSkipList(rt *core.Runtime, rootIdx int) (*RespctSkipList, error) {
+	desc := rt.ReadAddr(rt.RootInCLL(rootIdx))
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: no skiplist registered under root %d", rootIdx)
+	}
+	return &RespctSkipList{rt: rt, desc: desc}, nil
+}
+
+func (s *RespctSkipList) headNext(lvl int) core.InCLL { return core.Cell(s.desc, lvl) }
+
+// Every node reserves the full skipMaxLevel+1 cells — cell 0 is the value,
+// cells 1..skipMaxLevel the forward pointers — so field offsets are fixed
+// regardless of the tower height and the raw trailer [key, level] is always
+// at RawBase(n, skipMaxLevel+1). Towers are short on average; the padding
+// keeps the layout self-describing for the recovery scan.
+func (s *RespctSkipList) nodeValue(n pmem.Addr) core.InCLL { return core.Cell(n, 0) }
+
+func (s *RespctSkipList) nodeKey(n pmem.Addr) uint64 {
+	return s.rt.Heap().Load64(core.RawBase(n, skipMaxLevel+1))
+}
+
+func (s *RespctSkipList) nodeLvl(n pmem.Addr) int {
+	return int(s.rt.Heap().Load64(core.RawBase(n, skipMaxLevel+1) + 8))
+}
+
+func (s *RespctSkipList) next(n pmem.Addr, lvl int) pmem.Addr {
+	if n == s.desc {
+		return s.rt.ReadAddr(s.headNext(lvl))
+	}
+	return s.rt.ReadAddr(core.Cell(n, 1+lvl))
+}
+
+func (s *RespctSkipList) nextCell(n pmem.Addr, lvl int) core.InCLL {
+	if n == s.desc {
+		return s.headNext(lvl)
+	}
+	return core.Cell(n, 1+lvl)
+}
+
+// findPredecessors fills preds with the rightmost node before key at each
+// level and returns the candidate node at level 0 (which may or may not
+// match key).
+func (s *RespctSkipList) findPredecessors(key uint64, preds *[skipMaxLevel]pmem.Addr) pmem.Addr {
+	cur := s.desc
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := s.next(cur, lvl)
+			if nxt == pmem.NilAddr || s.nodeKey(nxt) >= key {
+				break
+			}
+			cur = nxt
+		}
+		preds[lvl] = cur
+	}
+	return s.next(cur, 0)
+}
+
+// Insert implements SortedMap.
+func (s *RespctSkipList) Insert(th int, key, value uint64) bool {
+	if key == 0 {
+		panic("structures: skiplist key 0 is reserved")
+	}
+	t := s.rt.Thread(th)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var preds [skipMaxLevel]pmem.Addr
+	cand := s.findPredecessors(key, &preds)
+	if cand != pmem.NilAddr && s.nodeKey(cand) == key {
+		t.Update(s.nodeValue(cand), value)
+		return false
+	}
+	lvl := skipLevel(key)
+	n := s.rt.Arena().Alloc(t, skipMaxLevel+1, 2)
+	if n == pmem.NilAddr {
+		panic("structures: RespctSkipList out of persistent memory")
+	}
+	t.Init(s.nodeValue(n), value)
+	raw := core.RawBase(n, skipMaxLevel+1)
+	t.StoreTracked(raw, key)
+	t.StoreTracked(raw+8, uint64(lvl))
+	for i := 0; i < lvl; i++ {
+		t.Init(core.Cell(n, 1+i), uint64(s.next(preds[i], i)))
+	}
+	// Link bottom-up; each link is undo-logged, so a crash rolls the whole
+	// insertion back atomically with its epoch.
+	for i := 0; i < lvl; i++ {
+		t.UpdateAddr(s.nextCell(preds[i], i), n)
+	}
+	return true
+}
+
+// Remove implements SortedMap.
+func (s *RespctSkipList) Remove(th int, key uint64) bool {
+	t := s.rt.Thread(th)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var preds [skipMaxLevel]pmem.Addr
+	cand := s.findPredecessors(key, &preds)
+	if cand == pmem.NilAddr || s.nodeKey(cand) != key {
+		return false
+	}
+	lvl := s.nodeLvl(cand)
+	for i := 0; i < lvl; i++ {
+		if s.next(preds[i], i) == cand {
+			t.Update(s.nextCell(preds[i], i), uint64(s.next(cand, i)))
+		}
+	}
+	s.rt.Arena().Free(t, cand)
+	return true
+}
+
+// Get implements SortedMap.
+func (s *RespctSkipList) Get(th int, key uint64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var preds [skipMaxLevel]pmem.Addr
+	cand := s.findPredecessors(key, &preds)
+	if cand != pmem.NilAddr && s.nodeKey(cand) == key {
+		return s.rt.Read(s.nodeValue(cand)), true
+	}
+	return 0, false
+}
+
+// Scan implements SortedMap.
+func (s *RespctSkipList) Scan(th int, from, to uint64, fn func(key, value uint64) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var preds [skipMaxLevel]pmem.Addr
+	n := s.findPredecessors(from, &preds)
+	for n != pmem.NilAddr {
+		k := s.nodeKey(n)
+		if k > to {
+			return
+		}
+		if !fn(k, s.rt.Read(s.nodeValue(n))) {
+			return
+		}
+		n = s.next(n, 0)
+	}
+}
+
+// PerOp places the per-operation restart point.
+func (s *RespctSkipList) PerOp(th int) { s.rt.Thread(th).RP(rpSkipOp) }
+
+// ThreadExit implements SortedMap.
+func (s *RespctSkipList) ThreadExit(th int) { s.rt.Thread(th).CheckpointAllow() }
+
+// Close implements SortedMap.
+func (s *RespctSkipList) Close() {}
+
+// Snapshot returns the contents in ascending key order (test helper).
+func (s *RespctSkipList) Snapshot() ([]uint64, []uint64) {
+	var keys, vals []uint64
+	s.Scan(0, 1, ^uint64(0), func(k, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	return keys, vals
+}
+
+// TransientSkipList is the same skiplist without fault tolerance, on a
+// simulated heap. Node layout (words): [value, next_0..next_15, key, level].
+type TransientSkipList struct {
+	noopSync
+	h     *pmem.Heap
+	alloc *pmem.Bump
+	mu    sync.Mutex
+	head  [skipMaxLevel]pmem.Addr // volatile head tower
+
+	free pmem.Addr
+}
+
+const tskipWords = 1 + skipMaxLevel + 2
+
+// NewTransientSkipList creates an empty transient sorted map on h.
+func NewTransientSkipList(h *pmem.Heap) *TransientSkipList {
+	return &TransientSkipList{h: h, alloc: pmem.NewBumpAll(h)}
+}
+
+func (s *TransientSkipList) next(n pmem.Addr, lvl int) pmem.Addr {
+	if n == pmem.NilAddr {
+		return s.head[lvl]
+	}
+	return pmem.Addr(s.h.Load64(n + pmem.Addr(8+lvl*8)))
+}
+
+func (s *TransientSkipList) setNext(n pmem.Addr, lvl int, v pmem.Addr) {
+	if n == pmem.NilAddr {
+		s.head[lvl] = v
+		return
+	}
+	s.h.Store64(n+pmem.Addr(8+lvl*8), uint64(v))
+}
+
+func (s *TransientSkipList) key(n pmem.Addr) uint64 {
+	return s.h.Load64(n + pmem.Addr(8*(1+skipMaxLevel)))
+}
+
+func (s *TransientSkipList) lvl(n pmem.Addr) int {
+	return int(s.h.Load64(n + pmem.Addr(8*(2+skipMaxLevel))))
+}
+
+func (s *TransientSkipList) find(keyv uint64, preds *[skipMaxLevel]pmem.Addr) pmem.Addr {
+	cur := pmem.NilAddr // nil stands for the head
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := s.next(cur, lvl)
+			if nxt == pmem.NilAddr || s.key(nxt) >= keyv {
+				break
+			}
+			cur = nxt
+		}
+		preds[lvl] = cur
+	}
+	return s.next(cur, 0)
+}
+
+// Insert implements SortedMap.
+func (s *TransientSkipList) Insert(_ int, key, value uint64) bool {
+	if key == 0 {
+		panic("structures: skiplist key 0 is reserved")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var preds [skipMaxLevel]pmem.Addr
+	cand := s.find(key, &preds)
+	if cand != pmem.NilAddr && s.key(cand) == key {
+		s.h.Store64(cand, value)
+		return false
+	}
+	n := s.free
+	if n != pmem.NilAddr {
+		s.free = pmem.Addr(s.h.Load64(n))
+	} else {
+		n = s.alloc.Alloc(tskipWords * 8)
+		if n == pmem.NilAddr {
+			panic("structures: transient skiplist out of memory")
+		}
+	}
+	lvl := skipLevel(key)
+	s.h.Store64(n, value)
+	s.h.Store64(n+pmem.Addr(8*(1+skipMaxLevel)), key)
+	s.h.Store64(n+pmem.Addr(8*(2+skipMaxLevel)), uint64(lvl))
+	for i := 0; i < lvl; i++ {
+		s.setNext(n, i, s.next(preds[i], i))
+	}
+	for i := 0; i < lvl; i++ {
+		s.setNext(preds[i], i, n)
+	}
+	return true
+}
+
+// Remove implements SortedMap.
+func (s *TransientSkipList) Remove(_ int, key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var preds [skipMaxLevel]pmem.Addr
+	cand := s.find(key, &preds)
+	if cand == pmem.NilAddr || s.key(cand) != key {
+		return false
+	}
+	for i := 0; i < s.lvl(cand); i++ {
+		if s.next(preds[i], i) == cand {
+			s.setNext(preds[i], i, s.next(cand, i))
+		}
+	}
+	s.h.Store64(cand, uint64(s.free))
+	s.free = cand
+	return true
+}
+
+// Get implements SortedMap.
+func (s *TransientSkipList) Get(_ int, key uint64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var preds [skipMaxLevel]pmem.Addr
+	cand := s.find(key, &preds)
+	if cand != pmem.NilAddr && s.key(cand) == key {
+		return s.h.Load64(cand), true
+	}
+	return 0, false
+}
+
+// Scan implements SortedMap.
+func (s *TransientSkipList) Scan(_ int, from, to uint64, fn func(key, value uint64) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var preds [skipMaxLevel]pmem.Addr
+	n := s.find(from, &preds)
+	for n != pmem.NilAddr {
+		k := s.key(n)
+		if k > to {
+			return
+		}
+		if !fn(k, s.h.Load64(n)) {
+			return
+		}
+		n = s.next(n, 0)
+	}
+}

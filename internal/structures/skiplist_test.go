@@ -1,0 +1,284 @@
+package structures
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+func sortedMapBattery(t *testing.T, s SortedMap) {
+	t.Helper()
+	if _, ok := s.Get(0, 10); ok {
+		t.Fatal("empty map hit")
+	}
+	keys := []uint64{5, 1, 9, 3, 7, 2, 8, 4, 6, 10}
+	for _, k := range keys {
+		if !s.Insert(0, k, k*10) {
+			t.Fatalf("insert %d reported existing", k)
+		}
+	}
+	if s.Insert(0, 5, 555) {
+		t.Fatal("re-insert reported new")
+	}
+	if v, ok := s.Get(0, 5); !ok || v != 555 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	// Ordered scan.
+	var got []uint64
+	s.Scan(0, 1, 100, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("scan saw %d keys", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("scan out of order: %v", got)
+		}
+	}
+	// Bounded scan.
+	got = got[:0]
+	s.Scan(0, 3, 7, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 5 || got[0] != 3 || got[4] != 7 {
+		t.Fatalf("bounded scan = %v", got)
+	}
+	// Early stop.
+	count := 0
+	s.Scan(0, 1, 100, func(k, v uint64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early-stop scan visited %d", count)
+	}
+	// Removals.
+	if !s.Remove(0, 5) || s.Remove(0, 5) {
+		t.Fatal("remove semantics broken")
+	}
+	if _, ok := s.Get(0, 5); ok {
+		t.Fatal("removed key found")
+	}
+	for _, k := range []uint64{1, 2, 3, 4, 6, 7, 8, 9, 10} {
+		if _, ok := s.Get(0, k); !ok {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestTransientSkipListBattery(t *testing.T) {
+	sortedMapBattery(t, NewTransientSkipList(pmem.New(pmem.DRAMConfig(32<<20))))
+}
+
+func TestRespctSkipListBattery(t *testing.T) {
+	rt := newRespctFixture(t, 1, 0)
+	s, err := NewRespctSkipList(rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortedMapBattery(t, s)
+}
+
+func TestRespctSkipListCrashRecovery(t *testing.T) {
+	rt := newRespctFixture(t, 1, 0)
+	s, err := NewRespctSkipList(rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 200; k++ {
+		s.Insert(0, k*3, k)
+	}
+	for k := uint64(1); k <= 50; k++ {
+		s.Remove(0, k*6) // thin it out
+	}
+	checkpointAll(rt)
+	wantK, wantV := s.Snapshot()
+
+	// Doomed epoch: structural churn everywhere.
+	for k := uint64(1); k <= 100; k++ {
+		s.Insert(0, k*3+1, 999)
+		s.Remove(0, k*9)
+	}
+	rt.Heap().EvictDirtyFraction(0.5, 77)
+	rt.Heap().Crash()
+
+	rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenRespctSkipList(rt2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotK, gotV := s2.Snapshot()
+	if len(gotK) != len(wantK) {
+		t.Fatalf("recovered %d keys, want %d", len(gotK), len(wantK))
+	}
+	for i := range wantK {
+		if gotK[i] != wantK[i] || gotV[i] != wantV[i] {
+			t.Fatalf("entry %d = (%d,%d), want (%d,%d)", i, gotK[i], gotV[i], wantK[i], wantV[i])
+		}
+	}
+	// Still fully operational, including scans across recovered towers.
+	s2.Insert(0, 2, 22)
+	if v, ok := s2.Get(0, 2); !ok || v != 22 {
+		t.Fatal("post-recovery insert failed")
+	}
+}
+
+// Property: the skiplist matches a model ordered map under random operation
+// sequences with a crash at a random point.
+func TestQuickRespctSkipListMatchesModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+		Val  uint64
+	}
+	f := func(ops []op, crashAt uint16, seed int64) bool {
+		rt := newRespctFixture(t, 1, 0)
+		s, err := NewRespctSkipList(rt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkpointAll(rt)
+		model := map[uint64]uint64{}
+		certified := map[uint64]uint64{}
+		crashPoint := -1
+		if len(ops) > 0 {
+			crashPoint = int(crashAt) % len(ops)
+		}
+		for i, o := range ops {
+			k := uint64(o.Key)%512 + 1
+			switch o.Kind % 5 {
+			case 0, 1:
+				s.Insert(0, k, o.Val)
+				model[k] = o.Val
+			case 2:
+				s.Remove(0, k)
+				delete(model, k)
+			case 3:
+				v, ok := s.Get(0, k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 4:
+				checkpointAll(rt)
+				certified = map[uint64]uint64{}
+				for kk, vv := range model {
+					certified[kk] = vv
+				}
+			}
+			if i == crashPoint {
+				rt.Heap().EvictDirtyFraction(0.5, seed)
+				rt.Heap().Crash()
+				rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: 1}, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s2, err := OpenRespctSkipList(rt2, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotK, gotV := s2.Snapshot()
+				if len(gotK) != len(certified) {
+					return false
+				}
+				for j, kk := range gotK {
+					if certified[kk] != gotV[j] {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		// No crash: final contents must match the model, in order.
+		gotK, gotV := s.Snapshot()
+		if len(gotK) != len(model) {
+			return false
+		}
+		wantKeys := make([]uint64, 0, len(model))
+		for kk := range model {
+			wantKeys = append(wantKeys, kk)
+		}
+		sort.Slice(wantKeys, func(a, b int) bool { return wantKeys[a] < wantKeys[b] })
+		for j, kk := range wantKeys {
+			if gotK[j] != kk || gotV[j] != model[kk] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(40)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRespctSkipListConcurrent(t *testing.T) {
+	const threads = 4
+	rt := newRespctFixture(t, threads, 128<<20)
+	s, err := NewRespctSkipList(rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckpointIdle()
+	ck := rt.StartCheckpointer(5_000_000) // 5ms
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(th + 1)))
+			base := uint64(th)*100000 + 1
+			for op := 0; op < 300; op++ {
+				k := base + uint64(rng.Intn(200))
+				switch rng.Intn(3) {
+				case 0:
+					s.Insert(th, k, k)
+				case 1:
+					s.Remove(th, k)
+				default:
+					if v, ok := s.Get(th, k); ok && v != k {
+						t.Errorf("key %d has foreign value %d", k, v)
+					}
+				}
+				s.PerOp(th)
+			}
+			s.ThreadExit(th)
+		}(th)
+	}
+	wg.Wait()
+	ck.Stop()
+	// Global order invariant after concurrent churn.
+	keys, _ := s.Snapshot()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("order violated at %d: %d >= %d", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestSkipLevelDistribution(t *testing.T) {
+	counts := make([]int, skipMaxLevel+1)
+	for k := uint64(1); k <= 100000; k++ {
+		counts[skipLevel(k)]++
+	}
+	// Roughly geometric: level 1 about half, level 2 about a quarter.
+	if counts[1] < 40000 || counts[1] > 60000 {
+		t.Fatalf("level-1 count %d implausible", counts[1])
+	}
+	if counts[2] < 15000 || counts[2] > 35000 {
+		t.Fatalf("level-2 count %d implausible", counts[2])
+	}
+	if counts[skipMaxLevel] > 100 {
+		t.Fatalf("max-level count %d implausible", counts[skipMaxLevel])
+	}
+}

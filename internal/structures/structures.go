@@ -1,0 +1,44 @@
+// Package structures provides the two concurrent data structures the paper
+// evaluates — a lock-based FIFO queue and a hash map with one lock per
+// bucket (§5.1) — in several flavours: transient on DRAM, transient on NVMM,
+// persistent with ResPCT, and adapters over the baseline systems. All
+// flavours share the Map and Queue interfaces so the benchmark harness can
+// drive them interchangeably.
+package structures
+
+// Map is a concurrent hash map of 8-byte keys to 8-byte values. th is the
+// worker index of the calling goroutine (each index must be used by one
+// goroutine at a time). Key 0 is reserved.
+type Map interface {
+	// Insert adds or overwrites key and reports whether it was absent.
+	Insert(th int, key, value uint64) bool
+	// Remove deletes key and reports whether it was present.
+	Remove(th int, key uint64) bool
+	// Get returns the value stored under key.
+	Get(th int, key uint64) (uint64, bool)
+	// PerOp is called by drivers once per completed operation; persistent
+	// flavours place their restart point here.
+	PerOp(th int)
+	// ThreadExit marks worker th as finished so checkpoints no longer
+	// wait for it.
+	ThreadExit(th int)
+	// Close releases background machinery (checkpointers, servers).
+	Close()
+}
+
+// Queue is a concurrent FIFO of 8-byte values with the same threading
+// conventions as Map.
+type Queue interface {
+	Enqueue(th int, v uint64)
+	Dequeue(th int) (uint64, bool)
+	PerOp(th int)
+	ThreadExit(th int)
+	Close()
+}
+
+// noopSync provides the transient flavours' empty synchronisation hooks.
+type noopSync struct{}
+
+func (noopSync) PerOp(int)      {}
+func (noopSync) ThreadExit(int) {}
+func (noopSync) Close()         {}

@@ -1,0 +1,488 @@
+package structures
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// quickCount scales property-test iteration counts down under -short (the
+// race-detector CI mode).
+func quickCount(n int) int {
+	if testing.Short() {
+		return max(4, n/8)
+	}
+	return n
+}
+
+func newRespctFixture(t testing.TB, threads int, size int64) *core.Runtime {
+	t.Helper()
+	if size == 0 {
+		size = 64 << 20
+	}
+	h := pmem.New(pmem.Config{Size: size})
+	rt, err := core.NewRuntime(h, core.Config{Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// checkpointAll runs a checkpoint with all workers idle.
+func checkpointAll(rt *core.Runtime) {
+	for i := 0; i < rt.Threads(); i++ {
+		rt.Thread(i).CheckpointAllow()
+	}
+	rt.Checkpoint()
+	for i := 0; i < rt.Threads(); i++ {
+		rt.Thread(i).CheckpointPrevent(nil)
+	}
+}
+
+// mapUnderTest drives any Map through a basic battery.
+func mapUnderTest(t *testing.T, m Map) {
+	t.Helper()
+	if _, ok := m.Get(0, 1); ok {
+		t.Fatal("empty map returned a value")
+	}
+	if !m.Insert(0, 1, 100) {
+		t.Fatal("first insert reported existing")
+	}
+	if m.Insert(0, 1, 101) {
+		t.Fatal("second insert reported new")
+	}
+	if v, ok := m.Get(0, 1); !ok || v != 101 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if !m.Remove(0, 1) {
+		t.Fatal("remove of present key failed")
+	}
+	if m.Remove(0, 1) {
+		t.Fatal("remove of absent key succeeded")
+	}
+	if _, ok := m.Get(0, 1); ok {
+		t.Fatal("removed key still present")
+	}
+	// Collision handling: few buckets, many keys.
+	for k := uint64(1); k <= 200; k++ {
+		m.Insert(0, k, k*2)
+	}
+	for k := uint64(1); k <= 200; k++ {
+		if v, ok := m.Get(0, k); !ok || v != k*2 {
+			t.Fatalf("key %d: %d,%v", k, v, ok)
+		}
+	}
+	for k := uint64(1); k <= 200; k += 2 {
+		if !m.Remove(0, k) {
+			t.Fatalf("remove %d failed", k)
+		}
+	}
+	for k := uint64(1); k <= 200; k++ {
+		_, ok := m.Get(0, k)
+		if want := k%2 == 0; ok != want {
+			t.Fatalf("key %d present=%v want %v", k, ok, want)
+		}
+	}
+}
+
+func queueUnderTest(t *testing.T, q Queue) {
+	t.Helper()
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("empty queue dequeued")
+	}
+	for i := uint64(1); i <= 100; i++ {
+		q.Enqueue(0, i)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		v, ok := q.Dequeue(0)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("drained queue dequeued")
+	}
+	// Interleaved.
+	q.Enqueue(0, 1)
+	q.Enqueue(0, 2)
+	if v, _ := q.Dequeue(0); v != 1 {
+		t.Fatal("FIFO violated")
+	}
+	q.Enqueue(0, 3)
+	if v, _ := q.Dequeue(0); v != 2 {
+		t.Fatal("FIFO violated")
+	}
+	if v, _ := q.Dequeue(0); v != 3 {
+		t.Fatal("FIFO violated")
+	}
+}
+
+func TestTransientMapBasics(t *testing.T) {
+	h := pmem.New(pmem.DRAMConfig(32 << 20))
+	mapUnderTest(t, NewTransientMap(h, 16))
+}
+
+func TestTransientMapOnNVMM(t *testing.T) {
+	h := pmem.New(pmem.NVMMConfig(32 << 20))
+	mapUnderTest(t, NewTransientMap(h, 16))
+}
+
+func TestTransientQueueBasics(t *testing.T) {
+	h := pmem.New(pmem.DRAMConfig(32 << 20))
+	queueUnderTest(t, NewTransientQueue(h))
+}
+
+func TestTransientQueueRecyclesNodes(t *testing.T) {
+	h := pmem.New(pmem.DRAMConfig(1 << 20))
+	q := NewTransientQueue(h)
+	// Far more operations than the heap could hold without recycling.
+	for round := 0; round < 100000; round++ {
+		q.Enqueue(0, uint64(round))
+		if _, ok := q.Dequeue(0); !ok {
+			t.Fatal("dequeue failed")
+		}
+	}
+}
+
+func TestRespctMapBasics(t *testing.T) {
+	rt := newRespctFixture(t, 1, 0)
+	m, err := NewRespctMap(rt, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapUnderTest(t, m)
+}
+
+func TestRespctQueueBasics(t *testing.T) {
+	rt := newRespctFixture(t, 1, 0)
+	q, err := NewRespctQueue(rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queueUnderTest(t, q)
+}
+
+func TestRespctMapCrashRecovery(t *testing.T) {
+	rt := newRespctFixture(t, 1, 0)
+	m, err := NewRespctMap(rt, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		m.Insert(0, k, k+1000)
+	}
+	checkpointAll(rt) // durable: 100 keys
+	want := m.Snapshot()
+
+	// Doomed epoch: overwrite, delete, insert.
+	for k := uint64(1); k <= 50; k++ {
+		m.Insert(0, k, 9999)
+	}
+	for k := uint64(51); k <= 70; k++ {
+		m.Remove(0, k)
+	}
+	for k := uint64(200); k <= 250; k++ {
+		m.Insert(0, k, k)
+	}
+	rt.Heap().EvictDirtyFraction(0.5, 42)
+	rt.Heap().Crash()
+
+	rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := OpenRespctMap(rt2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m2.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+	// The recovered map must remain fully operational.
+	m2.Insert(0, 777, 778)
+	if v, ok := m2.Get(0, 777); !ok || v != 778 {
+		t.Fatal("recovered map not operational")
+	}
+}
+
+func TestRespctQueueCrashRecovery(t *testing.T) {
+	rt := newRespctFixture(t, 1, 0)
+	q, err := NewRespctQueue(rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		q.Enqueue(0, i)
+	}
+	checkpointAll(rt)
+	want := q.Snapshot()
+
+	// Doomed epoch.
+	for i := 0; i < 20; i++ {
+		q.Dequeue(0)
+	}
+	for i := uint64(100); i < 120; i++ {
+		q.Enqueue(0, i)
+	}
+	rt.Heap().EvictDirtyFraction(0.6, 9)
+	rt.Heap().Crash()
+
+	rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := OpenRespctQueue(rt2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q2.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Still FIFO after recovery.
+	q2.Enqueue(0, 12345)
+	v, ok := q2.Dequeue(0)
+	if !ok || v != want[0] {
+		t.Fatalf("post-recovery dequeue = %d,%v, want %d", v, ok, want[0])
+	}
+}
+
+func TestRespctMapConcurrentWithCheckpoints(t *testing.T) {
+	const threads = 4
+	rt := newRespctFixture(t, threads, 128<<20)
+	m, err := NewRespctMap(rt, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopCk := make(chan struct{})
+	var ckWg sync.WaitGroup
+	ckWg.Add(1)
+	go func() {
+		defer ckWg.Done()
+		for {
+			select {
+			case <-stopCk:
+				return
+			default:
+				rt.Checkpoint()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(th)))
+			// Disjoint key ranges per thread so we can verify counts.
+			base := uint64(th) * 1000000
+			for op := 0; op < 500; op++ {
+				k := base + uint64(rng.Intn(500)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					m.Insert(th, k, k)
+				case 1:
+					m.Remove(th, k)
+				case 2:
+					if v, ok := m.Get(th, k); ok && v != k {
+						t.Errorf("key %d has foreign value %d", k, v)
+					}
+				}
+				m.PerOp(th)
+			}
+			m.ThreadExit(th)
+		}(th)
+	}
+	wg.Wait()
+	close(stopCk)
+	ckWg.Wait()
+	if rt.Stats().Checkpoints == 0 {
+		t.Fatal("no checkpoints ran during the workload")
+	}
+}
+
+// Property: a RespctMap behaves like a native Go map under any operation
+// sequence, including across a crash at a random point (recovered state must
+// equal the model at the last checkpoint).
+func TestQuickRespctMapMatchesModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+		Val  uint64
+	}
+	f := func(ops []op, crashAt uint16, seed int64) bool {
+		rt := newRespctFixture(t, 1, 0)
+		m, err := NewRespctMap(rt, 0, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Make the creation itself durable; without this a crash before the
+		// first checkpoint correctly loses the whole map.
+		checkpointAll(rt)
+		model := map[uint64]uint64{}
+		certified := map[uint64]uint64{}
+		crashPoint := -1
+		if len(ops) > 0 {
+			crashPoint = int(crashAt) % len(ops)
+		}
+		for i, o := range ops {
+			k := uint64(o.Key) + 1
+			switch o.Kind % 4 {
+			case 0:
+				m.Insert(0, k, o.Val)
+				model[k] = o.Val
+			case 1:
+				m.Remove(0, k)
+				delete(model, k)
+			case 2:
+				v, ok := m.Get(0, k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 3:
+				checkpointAll(rt)
+				certified = map[uint64]uint64{}
+				for kk, vv := range model {
+					certified[kk] = vv
+				}
+			}
+			if i == crashPoint {
+				rt.Heap().EvictDirtyFraction(0.5, seed)
+				rt.Heap().Crash()
+				rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: 1}, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m2, err := OpenRespctMap(rt2, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := m2.Snapshot()
+				if len(got) != len(certified) {
+					return false
+				}
+				for kk, vv := range certified {
+					if got[kk] != vv {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(60)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RespctQueue matches a model slice across random ops and a crash.
+func TestQuickRespctQueueMatchesModel(t *testing.T) {
+	f := func(ops []uint8, crashAt uint16, seed int64) bool {
+		rt := newRespctFixture(t, 1, 0)
+		q, err := NewRespctQueue(rt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkpointAll(rt)
+		var model, certified []uint64
+		next := uint64(1)
+		crashPoint := -1
+		if len(ops) > 0 {
+			crashPoint = int(crashAt) % len(ops)
+		}
+		for i, o := range ops {
+			switch o % 3 {
+			case 0:
+				q.Enqueue(0, next)
+				model = append(model, next)
+				next++
+			case 1:
+				v, ok := q.Dequeue(0)
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2:
+				checkpointAll(rt)
+				certified = append([]uint64(nil), model...)
+			}
+			if i == crashPoint {
+				rt.Heap().EvictDirtyFraction(0.5, seed)
+				rt.Heap().Crash()
+				rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: 1}, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				q2, err := OpenRespctQueue(rt2, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := q2.Snapshot()
+				if len(got) != len(certified) {
+					return false
+				}
+				for j := range certified {
+					if got[j] != certified[j] {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(60)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenWithoutCreateFails(t *testing.T) {
+	rt := newRespctFixture(t, 1, 0)
+	if _, err := OpenRespctMap(rt, 7); err == nil {
+		t.Fatal("OpenRespctMap on empty root succeeded")
+	}
+	if _, err := OpenRespctQueue(rt, 7); err == nil {
+		t.Fatal("OpenRespctQueue on empty root succeeded")
+	}
+}
+
+func TestRespctMapManySegments(t *testing.T) {
+	rt := newRespctFixture(t, 1, 128<<20)
+	// More buckets than one segment holds.
+	m, err := NewRespctMap(rt, 0, segBuckets+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		m.Insert(0, k, k)
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		if v, ok := m.Get(0, k); !ok || v != k {
+			t.Fatalf("key %d: %d,%v", k, v, ok)
+		}
+	}
+}

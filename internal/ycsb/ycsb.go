@@ -1,0 +1,259 @@
+// Package ycsb is a compact YCSB-style workload generator (Cooper et al.,
+// SoCC'10) for the key-value evaluation of the paper's §5.3: a load phase
+// inserting N records and a run phase issuing a read/update mix over a
+// zipfian or uniform key distribution, driven by a configurable number of
+// client goroutines.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workload describes one YCSB phase mix.
+type Workload struct {
+	Name       string
+	Records    int     // key space size (load phase inserts all of them)
+	Operations int     // run phase total ops
+	ReadProp   float64 // proportion of reads; rest are updates
+	ValueSize  int
+	Zipfian    bool // zipfian vs uniform key choice
+	Clients    int
+	Seed       int64
+}
+
+// StandardWorkloads returns the paper's three mixes (read-intensive 90/10,
+// balanced 50/50, write-intensive 10/90).
+func StandardWorkloads(records, operations, valueSize, clients int) []Workload {
+	mk := func(name string, read float64) Workload {
+		return Workload{
+			Name: name, Records: records, Operations: operations,
+			ReadProp: read, ValueSize: valueSize, Zipfian: true,
+			Clients: clients, Seed: 42,
+		}
+	}
+	return []Workload{
+		mk("read-intensive (90R/10W)", 0.9),
+		mk("balanced (50R/50W)", 0.5),
+		mk("write-intensive (10R/90W)", 0.1),
+	}
+}
+
+// Key renders record index i as the YCSB-style key string.
+func Key(i int) string { return fmt.Sprintf("user%012d", i) }
+
+// Value builds a deterministic value of the workload's size for record i.
+func (w Workload) Value(i int) []byte {
+	v := make([]byte, w.ValueSize)
+	x := uint64(i)*2654435761 + uint64(w.Seed)
+	for j := range v {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v[j] = 'a' + byte(x%26)
+	}
+	return v
+}
+
+// Zipf is the YCSB scrambled-zipfian key chooser.
+type Zipf struct {
+	rng   *rand.Rand
+	items uint64
+	base  *zipfCore
+}
+
+type zipfCore struct {
+	items        uint64
+	theta        float64
+	zetan, zeta2 float64
+	alpha, eta   float64
+}
+
+func newZipfCore(items uint64, theta float64) *zipfCore {
+	z := &zipfCore{items: items, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(items, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(items), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// zipfCache memoises the expensive zeta computation per item count.
+var (
+	zipfMu    sync.Mutex
+	zipfCache = map[uint64]*zipfCore{}
+)
+
+// NewZipf creates a zipfian chooser over [0, items) with YCSB's default
+// theta = 0.99.
+func NewZipf(items uint64, seed int64) *Zipf {
+	zipfMu.Lock()
+	base, ok := zipfCache[items]
+	if !ok {
+		base = newZipfCore(items, 0.99)
+		zipfCache[items] = base
+	}
+	zipfMu.Unlock()
+	return &Zipf{rng: rand.New(rand.NewSource(seed)), items: items, base: base}
+}
+
+// Next returns the next zipfian-distributed item, scrambled so hot keys
+// scatter across the key space (YCSB's ScrambledZipfian).
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.base.zetan
+	var rank uint64
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.base.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.items) * math.Pow(z.base.eta*u-z.base.eta+1, z.base.alpha))
+	}
+	if rank >= z.items {
+		rank = z.items - 1
+	}
+	// scramble
+	h := rank * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h % z.items
+}
+
+// Executor abstracts the system under test. cli identifies the calling
+// client goroutine.
+type Executor interface {
+	Set(cli int, key string, value []byte) error
+	Get(cli int, key string) ([]byte, bool, error)
+}
+
+// Result summarises a phase.
+type Result struct {
+	Name       string
+	Operations uint64
+	Duration   time.Duration
+	Reads      uint64
+	Updates    uint64
+	Errors     uint64
+	P50, P99   time.Duration
+	Max        time.Duration
+}
+
+// KopsPerSec returns throughput in thousands of operations per second.
+func (r Result) KopsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Operations) / r.Duration.Seconds() / 1e3
+}
+
+// Load runs the load phase: every record inserted once, partitioned across
+// the clients.
+func Load(w Workload, ex Executor) (Result, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	var errs atomic.Uint64
+	chunk := (w.Records + w.Clients - 1) / w.Clients
+	for c := 0; c < w.Clients; c++ {
+		lo := c * chunk
+		hi := min(lo+chunk, w.Records)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(cli, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := ex.Set(cli, Key(i), w.Value(i)); err != nil {
+					errs.Add(1)
+				}
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	res := Result{Name: w.Name + " [load]", Operations: uint64(w.Records), Duration: time.Since(start), Errors: errs.Load()}
+	if res.Errors > 0 {
+		return res, fmt.Errorf("ycsb: %d load errors", res.Errors)
+	}
+	return res, nil
+}
+
+// Run executes the run phase with w.Clients concurrent clients and returns
+// aggregate throughput and latency percentiles (sampled, 1 in 16 ops).
+func Run(w Workload, ex Executor) (Result, error) {
+	var wg sync.WaitGroup
+	var reads, updates, errs atomic.Uint64
+	perClient := w.Operations / w.Clients
+	samples := make([][]time.Duration, w.Clients)
+	start := time.Now()
+	for c := 0; c < w.Clients; c++ {
+		wg.Add(1)
+		go func(cli int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(w.Seed + int64(cli)*31337))
+			var chooser func() uint64
+			if w.Zipfian {
+				z := NewZipf(uint64(w.Records), w.Seed+int64(cli))
+				chooser = z.Next
+			} else {
+				chooser = func() uint64 { return uint64(rng.Intn(w.Records)) }
+			}
+			var local []time.Duration
+			for i := 0; i < perClient; i++ {
+				k := Key(int(chooser()))
+				t0 := time.Now()
+				var err error
+				if rng.Float64() < w.ReadProp {
+					_, _, err = ex.Get(cli, k)
+					reads.Add(1)
+				} else {
+					err = ex.Set(cli, k, w.Value(i))
+					updates.Add(1)
+				}
+				if err != nil {
+					errs.Add(1)
+				}
+				if i%16 == 0 {
+					local = append(local, time.Since(t0))
+				}
+			}
+			samples[cli] = local
+		}(c)
+	}
+	wg.Wait()
+	res := Result{
+		Name:       w.Name,
+		Operations: reads.Load() + updates.Load(),
+		Duration:   time.Since(start),
+		Reads:      reads.Load(),
+		Updates:    updates.Load(),
+		Errors:     errs.Load(),
+	}
+	var all []time.Duration
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50 = all[len(all)/2]
+		res.P99 = all[len(all)*99/100]
+		res.Max = all[len(all)-1]
+	}
+	if res.Errors > 0 {
+		return res, fmt.Errorf("ycsb: %d run errors", res.Errors)
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package ycsb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// mapExecutor is an in-memory Executor for generator tests.
+type mapExecutor struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMapExecutor() *mapExecutor { return &mapExecutor{m: map[string][]byte{}} }
+
+func (e *mapExecutor) Set(_ int, key string, value []byte) error {
+	e.mu.Lock()
+	e.m[key] = append([]byte(nil), value...)
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *mapExecutor) Get(_ int, key string) ([]byte, bool, error) {
+	e.mu.Lock()
+	v, ok := e.m[key]
+	e.mu.Unlock()
+	return v, ok, nil
+}
+
+func TestKeyFormat(t *testing.T) {
+	if got := Key(7); got != "user000000000007" {
+		t.Fatalf("Key(7) = %q", got)
+	}
+	if len(Key(999999)) != len(Key(0)) {
+		t.Fatal("keys not fixed width")
+	}
+}
+
+func TestValueDeterministicAndSized(t *testing.T) {
+	w := Workload{ValueSize: 100, Seed: 1}
+	a, b := w.Value(5), w.Value(5)
+	if len(a) != 100 || string(a) != string(b) {
+		t.Fatal("values not deterministic 100-byte strings")
+	}
+	if string(w.Value(5)) == string(w.Value(6)) {
+		t.Fatal("distinct records share values")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(10000, 1)
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// The hottest key of a 0.99-zipfian should take a few percent of draws;
+	// uniform would give 0.01%.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / draws; frac < 0.01 {
+		t.Fatalf("hottest key only %.4f of draws — not zipfian", frac)
+	}
+	// But the tail must still be broad.
+	if len(counts) < 1000 {
+		t.Fatalf("only %d distinct keys drawn", len(counts))
+	}
+}
+
+func TestQuickZipfInRange(t *testing.T) {
+	z := NewZipf(1000, 7)
+	f := func(uint8) bool {
+		v := z.Next()
+		return v < 1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadInsertsAllRecords(t *testing.T) {
+	ex := newMapExecutor()
+	w := Workload{Name: "t", Records: 1000, Operations: 0, ValueSize: 16, Clients: 4, Seed: 3}
+	res, err := Load(w, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operations != 1000 {
+		t.Fatalf("load ops = %d", res.Operations)
+	}
+	if len(ex.m) != 1000 {
+		t.Fatalf("loaded %d records", len(ex.m))
+	}
+	for k := range ex.m {
+		if !strings.HasPrefix(k, "user") {
+			t.Fatalf("stray key %q", k)
+		}
+	}
+}
+
+func TestRunMixesReadsAndUpdates(t *testing.T) {
+	ex := newMapExecutor()
+	w := Workload{Name: "t", Records: 500, Operations: 4000, ReadProp: 0.5,
+		ValueSize: 16, Zipfian: true, Clients: 4, Seed: 9}
+	if _, err := Load(w, ex); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operations != 4000 {
+		t.Fatalf("run ops = %d", res.Operations)
+	}
+	readFrac := float64(res.Reads) / float64(res.Operations)
+	if readFrac < 0.4 || readFrac > 0.6 {
+		t.Fatalf("read fraction %.2f, want ~0.5", readFrac)
+	}
+	if res.KopsPerSec() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if res.P99 < res.P50 {
+		t.Fatalf("p99 %v < p50 %v", res.P99, res.P50)
+	}
+}
+
+func TestStandardWorkloads(t *testing.T) {
+	ws := StandardWorkloads(100, 1000, 100, 8)
+	if len(ws) != 3 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	props := []float64{0.9, 0.5, 0.1}
+	for i, w := range ws {
+		if w.ReadProp != props[i] {
+			t.Fatalf("workload %d read prop %v", i, w.ReadProp)
+		}
+		if w.ValueSize != 100 || w.Clients != 8 {
+			t.Fatalf("workload %d misconfigured: %+v", i, w)
+		}
+	}
+}
