@@ -1,13 +1,22 @@
-// Command kvserver runs the Memcached-like key-value store of §5.3 on a
-// simulated NVMM heap with ResPCT checkpointing, speaking the text protocol
-// on a TCP port. On SIGINT/SIGTERM it snapshots the persistent image to the
-// file given by -snapshot; a later start with the same -snapshot recovers
-// the store from it — a full crash/recovery cycle across OS processes.
+// Command kvserver runs the Memcached-like key-value store of §5.3 on
+// simulated NVMM with ResPCT checkpointing, speaking the text protocol on a
+// TCP port. With -shards N the key space is partitioned across N independent
+// heap+runtime shards (see internal/shard): checkpoints are staggered
+// round-robin so at most one shard stalls at a time, or synchronized with
+// -sync. On SIGINT/SIGTERM it snapshots each shard's persistent image to
+// ShardFile(-snapshot, i) ("kv.img" → "kv-0.img", "kv-1.img", …) via an
+// atomic temp-file+rename; a later start with the same -snapshot and -shards
+// recovers every shard in parallel — a full crash/recovery cycle across OS
+// processes.
 //
 // Usage:
 //
-//	kvserver [-addr :11222] [-workers 4] [-buckets 1048576] [-interval 64ms]
-//	         [-heap 2147483648] [-snapshot kv.img] [-transient]
+//	kvserver [-addr :11222] [-workers 4] [-shards 1] [-sync]
+//	         [-buckets 1048576] [-interval 64ms] [-heap 2147483648]
+//	         [-snapshot kv.img] [-transient]
+//
+// -buckets and -heap are totals for the whole store; each shard gets a 1/N
+// slice.
 package main
 
 import (
@@ -18,18 +27,20 @@ import (
 	"syscall"
 	"time"
 
-	"github.com/respct/respct/internal/core"
 	"github.com/respct/respct/internal/kv"
 	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/shard"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:11222", "listen address")
 	workers := flag.Int("workers", 4, "server worker threads")
-	buckets := flag.Int("buckets", 1<<20, "hash-table buckets")
+	shards := flag.Int("shards", 1, "key-space partitions, each with its own heap and runtime")
+	sync := flag.Bool("sync", false, "checkpoint all shards together instead of staggering them")
+	buckets := flag.Int("buckets", 1<<20, "hash-table buckets (total across shards)")
 	interval := flag.Duration("interval", 64*time.Millisecond, "checkpoint period")
-	heapBytes := flag.Int64("heap", 2<<30, "simulated NVMM size in bytes")
-	snapshot := flag.String("snapshot", "", "snapshot file: recovered at start if present, written on shutdown")
+	heapBytes := flag.Int64("heap", 2<<30, "simulated NVMM size in bytes (total across shards)")
+	snapshot := flag.String("snapshot", "", "snapshot base path: recovered at start if all shard images are present, written on shutdown")
 	transient := flag.Bool("transient", false, "run the non-fault-tolerant store instead")
 	flag.Parse()
 
@@ -46,80 +57,76 @@ func main() {
 		return
 	}
 
-	var h *pmem.Heap
-	var rt *core.Runtime
-	var store *kv.RespctStore
-	recovered := false
-	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
-			h2, err := pmem.Open(f, pmem.NVMMConfig(0))
-			f.Close()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "snapshot open:", err)
-				os.Exit(1)
-			}
-			rt2, rep, err := core.Recover(h2, core.Config{Threads: *workers}, 4)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "recover:", err)
-				os.Exit(1)
-			}
-			st, err := kv.OpenRespctStore(rt2, 0)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "open store:", err)
-				os.Exit(1)
-			}
-			h, rt, store = h2, rt2, st
-			recovered = true
-			fmt.Printf("recovered from %s: failed epoch %d, %d cells scanned, %d rolled back, %v\n",
-				*snapshot, rep.FailedEpoch, rep.CellsScanned, rep.CellsRolledBack, rep.Duration.Round(time.Millisecond))
-		}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "kvserver: -shards must be >= 1")
+		os.Exit(1)
 	}
-	if !recovered {
-		h = pmem.New(pmem.NVMMConfig(*heapBytes))
-		var err error
-		rt, err = core.NewRuntime(h, core.Config{Threads: *workers})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "runtime:", err)
-			os.Exit(1)
-		}
-		store, err = kv.NewRespctStore(rt, 0, *buckets)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "store:", err)
-			os.Exit(1)
-		}
-		rt.CheckpointIdle() // the empty store itself is durable from here on
+	cfg := shard.Config{
+		Shards:    *shards,
+		Workers:   *workers,
+		Buckets:   max(*buckets / *shards, 1<<8),
+		HeapBytes: *heapBytes / int64(*shards),
+		Interval:  *interval,
+		Sync:      *sync,
 	}
 
-	ck := rt.StartCheckpointer(*interval)
-	srv, err := kv.NewServer(store, *workers, *addr)
+	if *snapshot != "" {
+		// Refuse a shard count that disagrees with the on-disk images:
+		// recovering fewer shards would silently drop the extra images'
+		// keys, and more would silently start an empty store.
+		if n := shard.SnapshotFileCount(*snapshot); n > 0 && n != *shards {
+			fmt.Fprintf(os.Stderr, "kvserver: snapshot %s holds %d shard image(s) but -shards is %d; restart with -shards %d or move the images aside\n",
+				*snapshot, n, *shards, n)
+			os.Exit(1)
+		}
+	}
+
+	var pool *shard.Pool
+	if *snapshot != "" && shard.HaveSnapshotFiles(*snapshot, *shards) {
+		p, rep, err := shard.OpenPoolFiles(cfg, *snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recover:", err)
+			os.Exit(1)
+		}
+		pool = p
+		fmt.Printf("recovered %d shard(s) from %s: failed epochs %v, %d cells scanned, %d rolled back, %v\n",
+			*shards, *snapshot, rep.FailedEpochs(), rep.CellsScanned, rep.CellsRolledBack,
+			rep.Duration.Round(time.Millisecond))
+	} else {
+		p, err := shard.NewPool(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pool:", err)
+			os.Exit(1)
+		}
+		pool = p
+	}
+
+	pool.Start()
+	srv, err := kv.NewServer(pool.Store(), *workers, *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("ResPCT kvserver listening on %s (checkpoint every %v)\n", srv.Addr(), *interval)
+	schedule := "staggered"
+	if *sync {
+		schedule = "synchronized"
+	}
+	fmt.Printf("ResPCT kvserver listening on %s (%d shard(s), %s checkpoint every %v)\n",
+		srv.Addr(), *shards, schedule, *interval)
 
 	waitForSignal()
 	fmt.Println("shutting down...")
 	srv.Close()
-	ck.Stop()
+	pool.Close()
 	if *snapshot != "" {
-		// One final checkpoint so the snapshot holds the latest state,
-		// then write the persistent image out.
-		for i := 0; i < rt.Threads(); i++ {
-			rt.Thread(i).CheckpointAllow()
-		}
-		rt.Checkpoint()
-		f, err := os.Create(*snapshot)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "snapshot create:", err)
+		// SnapshotFiles runs one final coordinated checkpoint and writes each
+		// shard image via temp file + rename, so a crash mid-write never
+		// leaves a truncated image under a final name.
+		if err := pool.SnapshotFiles(*snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "snapshot:", err)
 			os.Exit(1)
 		}
-		if err := h.Snapshot(f); err != nil {
-			fmt.Fprintln(os.Stderr, "snapshot write:", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Println("persistent image written to", *snapshot)
+		fmt.Printf("%d shard image(s) written under %s\n", *shards, *snapshot)
 	}
 }
 

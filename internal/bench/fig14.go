@@ -6,9 +6,7 @@ import (
 	"strings"
 	"time"
 
-	"github.com/respct/respct/internal/core"
 	"github.com/respct/respct/internal/kv"
-	"github.com/respct/respct/internal/pmem"
 	"github.com/respct/respct/internal/ycsb"
 )
 
@@ -71,38 +69,6 @@ func (e *tcpExecutor) Get(cli int, key string) ([]byte, bool, error) {
 func (e *tcpExecutor) closeAll() {
 	for _, c := range e.clients {
 		c.Close()
-	}
-}
-
-type kvVariant struct {
-	name  string
-	build func(s KVScale) (kv.Store, func())
-}
-
-func kvVariants() []kvVariant {
-	return []kvVariant{
-		{"Transient<DRAM>", func(s KVScale) (kv.Store, func()) {
-			h := pmem.New(pmem.DRAMConfig(s.HeapBytes))
-			return kv.NewTransientStore(h), func() {}
-		}},
-		{"Transient<NVMM>", func(s KVScale) (kv.Store, func()) {
-			h := pmem.New(pmem.NVMMConfig(s.HeapBytes))
-			return kv.NewTransientStore(h), func() {}
-		}},
-		{"ResPCT", func(s KVScale) (kv.Store, func()) {
-			h := pmem.New(pmem.NVMMConfig(s.HeapBytes))
-			rt, err := core.NewRuntime(h, core.Config{Threads: s.Workers})
-			if err != nil {
-				panic(err)
-			}
-			st, err := kv.NewRespctStore(rt, 0, s.Buckets)
-			if err != nil {
-				panic(err)
-			}
-			rt.CheckpointIdle()
-			ck := rt.StartCheckpointer(s.Interval)
-			return st, ck.Stop
-		}},
 	}
 }
 

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/respct/respct/internal/shard"
+	"github.com/respct/respct/internal/ycsb"
+)
+
+// ShardResult is one row of the figShards sweep.
+type ShardResult struct {
+	Shards      int
+	KopsPerSec  float64
+	P50, P99    time.Duration
+	Checkpoints uint64
+	LinesWrote  uint64
+	GateWait    time.Duration
+	FlushTime   time.Duration
+	MaxPause    time.Duration
+	TotalPause  time.Duration
+	Staleness   time.Duration // worst-case age of a shard's recovery point
+}
+
+// storeExecutor drives a sharded store in-process: client index == store
+// thread index, no sockets. figShards uses it so the sweep isolates the
+// checkpoint stall (the thing sharding changes) from TCP overhead (which it
+// does not).
+type storeExecutor struct {
+	st *shard.Store
+}
+
+func (e storeExecutor) Set(cli int, key string, value []byte) error {
+	e.st.Set(cli, key, value)
+	return nil
+}
+
+func (e storeExecutor) Get(cli int, key string) ([]byte, bool, error) {
+	v, ok := e.st.Get(cli, key)
+	return v, ok, nil
+}
+
+// FigShards sweeps the shard count for the partitioned KV store under the
+// balanced YCSB mix. Total workers, buckets and heap budget are identical in
+// every row — only the partitioning varies. One shard is the unsharded
+// baseline: every interval, a checkpoint parks all workers and writes back
+// every line dirtied since the previous interval. With N staggered shards
+// the driver checkpoints one shard per interval: a stall only ever covers
+// one shard's keys, and each flush coalesces N intervals of updates, so hot
+// lines are written back once instead of N times. The price is staleness:
+// a shard's recovery point can be up to N*Interval old (the table's last
+// column). Sync mode keeps the staleness bound at Interval but stalls the
+// whole store at once, like the unsharded baseline.
+func FigShards(s KVScale, shardCounts []int, log func(string)) string {
+	out, _ := FigShardsR(s, shardCounts, log)
+	return out
+}
+
+// FigShardsR is FigShards returning the raw per-row results as well.
+func FigShardsR(s KVScale, shardCounts []int, log func(string)) (string, []ShardResult) {
+	if shardCounts == nil {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	// The run must span several staggered periods (Shards*Interval) per row,
+	// or the largest shard counts would be measured over a window shorter
+	// than one of their checkpoint cycles.
+	ops := s.Operations
+	if ops < 200_000 {
+		ops = 200_000
+	}
+	var out strings.Builder
+	out.WriteString(fmt.Sprintf("figShards — sharded KV store, YCSB balanced (50R/50W), %d keys, %d-byte values, %d workers, interval %v, %d ops\n",
+		s.Records, s.ValueSize, s.Workers, s.Interval, ops))
+	out.WriteString(fmt.Sprintf("%-8s %10s %10s %10s %12s %12s %10s %10s %12s %12s %12s\n",
+		"shards", "kops/s", "p50", "p99", "checkpoints", "lines", "gate", "flush", "max pause", "total pause", "staleness"))
+	var results []ShardResult
+	for _, n := range shardCounts {
+		if log != nil {
+			log(fmt.Sprintf("figshards shards=%d", n))
+		}
+		w := ycsb.Workload{
+			Name: "balanced (50R/50W)", Records: s.Records, Operations: ops,
+			ReadProp: 0.5, ValueSize: s.ValueSize, Zipfian: true,
+			Clients: s.Workers, Seed: 42,
+		}
+		p, err := shard.NewPool(shardKVConfig(s, n, false))
+		if err != nil {
+			panic(err)
+		}
+		ex := storeExecutor{st: p.Store()}
+		// Load with the checkpoint driver off, make the load durable in one
+		// coordinated pass, then start the periodic driver for the timed run.
+		if _, err := ycsb.Load(w, ex); err != nil {
+			panic(err)
+		}
+		p.CheckpointAll()
+		base := p.Stats()
+		p.ResetMaxPause()
+		p.Start()
+		res, err := ycsb.Run(w, ex)
+		if err != nil {
+			panic(err)
+		}
+		p.Close()
+		st := p.Stats()
+		r := ShardResult{
+			Shards:      n,
+			KopsPerSec:  res.KopsPerSec(),
+			P50:         res.P50,
+			P99:         res.P99,
+			Checkpoints: st.Checkpoints - base.Checkpoints,
+			LinesWrote:  st.LinesWrote - base.LinesWrote,
+			GateWait:    st.GateWait - base.GateWait,
+			FlushTime:   st.FlushTime - base.FlushTime,
+			MaxPause:    st.MaxPause,
+			TotalPause:  st.TotalPause - base.TotalPause,
+			Staleness:   time.Duration(n) * s.Interval,
+		}
+		results = append(results, r)
+		out.WriteString(fmt.Sprintf("%-8d %10.1f %10v %10v %12d %12d %10v %10v %12v %12v %12v\n",
+			r.Shards, r.KopsPerSec,
+			r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			r.Checkpoints, r.LinesWrote,
+			r.GateWait.Round(10*time.Microsecond), r.FlushTime.Round(10*time.Microsecond),
+			r.MaxPause.Round(10*time.Microsecond), r.TotalPause.Round(10*time.Microsecond),
+			r.Staleness))
+		runtime.GC()
+	}
+	return out.String(), results
+}

@@ -13,7 +13,9 @@ import (
 	"github.com/respct/respct/internal/baselines/soft"
 	"github.com/respct/respct/internal/baselines/undolog"
 	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/kv"
 	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/shard"
 	"github.com/respct/respct/internal/structures"
 )
 
@@ -264,6 +266,76 @@ func QueueSystems() []QueueSystem {
 			h := pmem.New(pmem.NVMMConfig(queueHeapSize(p)))
 			return undolog.NewQueue(h, p.Threads, undolog.Full), func() {}
 		}},
+	}
+}
+
+// kvVariant is a constructible kv.Store implementation (the Fig. 14 and
+// figShards registries).
+type kvVariant struct {
+	name  string
+	build func(s KVScale) (kv.Store, func())
+}
+
+func kvVariants() []kvVariant {
+	return []kvVariant{
+		{"Transient<DRAM>", func(s KVScale) (kv.Store, func()) {
+			h := pmem.New(pmem.DRAMConfig(s.HeapBytes))
+			return kv.NewTransientStore(h), func() {}
+		}},
+		{"Transient<NVMM>", func(s KVScale) (kv.Store, func()) {
+			h := pmem.New(pmem.NVMMConfig(s.HeapBytes))
+			return kv.NewTransientStore(h), func() {}
+		}},
+		{"ResPCT", func(s KVScale) (kv.Store, func()) {
+			h := pmem.New(pmem.NVMMConfig(s.HeapBytes))
+			rt, err := core.NewRuntime(h, core.Config{Threads: s.Workers})
+			if err != nil {
+				panic(err)
+			}
+			st, err := kv.NewRespctStore(rt, 0, s.Buckets)
+			if err != nil {
+				panic(err)
+			}
+			rt.CheckpointIdle()
+			ck := rt.StartCheckpointer(s.Interval)
+			return st, ck.Stop
+		}},
+		kvShardVariant(4),
+	}
+}
+
+// shardKVConfig splits one KVScale across n shards: the total bucket count
+// and heap budget stay fixed so the comparison against a single shard is
+// iso-resource, only the partitioning varies.
+func shardKVConfig(s KVScale, n int, sync bool) shard.Config {
+	buckets := s.Buckets / n
+	if buckets < 1<<8 {
+		buckets = 1 << 8
+	}
+	return shard.Config{
+		Shards:    n,
+		Workers:   s.Workers,
+		Buckets:   buckets,
+		HeapBytes: s.HeapBytes / int64(n),
+		Interval:  s.Interval,
+		Sync:      sync,
+	}
+}
+
+// kvShardVariant builds a sharded ResPCT store with staggered checkpoints.
+// The pool's checkpoint driver is started immediately; figShards builds its
+// pools by hand instead so it can load before the first checkpoint.
+func kvShardVariant(n int) kvVariant {
+	return kvVariant{
+		name: fmt.Sprintf("ResPCT-shard%d", n),
+		build: func(s KVScale) (kv.Store, func()) {
+			p, err := shard.NewPool(shardKVConfig(s, n, false))
+			if err != nil {
+				panic(err)
+			}
+			p.Start()
+			return p.Store(), p.Close
+		},
 	}
 }
 

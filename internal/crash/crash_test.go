@@ -5,6 +5,16 @@ import (
 	"time"
 )
 
+// soakSeeds caps a soak's seed count in -short mode (the README's "-short
+// trims property-test iterations"): on a slow host the race-detector pass
+// over every full-length soak would exceed the default package timeout.
+func soakSeeds(full int64) int64 {
+	if testing.Short() && full > 2 {
+		return 2
+	}
+	return full
+}
+
 func soakConfig(seed int64) MapSoakConfig {
 	return MapSoakConfig{
 		Threads:      4,
@@ -19,7 +29,7 @@ func soakConfig(seed int64) MapSoakConfig {
 }
 
 func TestMapSoakManySeeds(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
+	for seed := int64(1); seed <= soakSeeds(8); seed++ {
 		rep, err := MapSoak(soakConfig(seed))
 		if err != nil {
 			t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
@@ -31,7 +41,7 @@ func TestMapSoakManySeeds(t *testing.T) {
 }
 
 func TestQueueSoakManySeeds(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
+	for seed := int64(1); seed <= soakSeeds(8); seed++ {
 		cfg := soakConfig(seed)
 		rep, err := QueueSoak(cfg)
 		if err != nil {

@@ -19,7 +19,7 @@ import (
 // recovered state that must equal the snapshot certified by the last
 // completed checkpoint.
 func TestKVStoreSoak(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
+	for seed := int64(1); seed <= soakSeeds(4); seed++ {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			const threads = 4
 			h := pmem.New(pmem.Config{Size: 256 << 20, Chaos: true, Seed: seed})

@@ -17,7 +17,7 @@ import (
 // random crash — recovered contents must equal the certified snapshot, in
 // order.
 func TestSkipListSoak(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
+	for seed := int64(1); seed <= soakSeeds(4); seed++ {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			const threads = 4
 			h := pmem.New(pmem.Config{Size: 256 << 20, Chaos: true, Seed: seed})
@@ -122,7 +122,7 @@ func TestSkipListSoak(t *testing.T) {
 // certified record count, and every surviving record must be intact (a
 // record each worker wrote with a self-describing payload).
 func TestLogSoak(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
+	for seed := int64(1); seed <= soakSeeds(4); seed++ {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			const threads = 4
 			h := pmem.New(pmem.Config{Size: 256 << 20, Chaos: true, Seed: seed})

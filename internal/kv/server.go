@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/respct/respct/internal/core"
 )
@@ -32,7 +33,14 @@ type Server struct {
 	wg       sync.WaitGroup
 	connWG   sync.WaitGroup
 	closed   chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
+
+// maxValueBytes bounds a single value. Oversized sets are refused, but their
+// body is consumed so the connection stays in protocol sync.
+const maxValueBytes = 1 << 20
 
 type request struct {
 	op    byte // 's', 'g', 'd'
@@ -65,6 +73,7 @@ func NewServer(store Store, workers int, addr string) (*Server, error) {
 		ln:       ln,
 		dispatch: make(chan request, 256),
 		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -85,6 +94,16 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.connMu.Lock()
+		select {
+		case <-s.closed:
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.connWG.Add(1)
 		go s.serveConn(conn)
 	}
@@ -127,7 +146,12 @@ func (s *Server) worker(w int) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.connWG.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
 	r := bufio.NewReader(conn)
 	wtr := bufio.NewWriter(conn)
 	reply := make(chan response, 1)
@@ -143,14 +167,28 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		switch fields[0] {
 		case "set":
+			// A malformed set leaves an unknown number of body bytes on the
+			// wire; replying and reading on would desync the protocol —
+			// every subsequent "command" would be value bytes. When the
+			// length is unparseable the connection must close; when it is
+			// valid but oversized the body is consumed and the connection
+			// stays usable.
 			if len(fields) != 3 {
 				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
 				wtr.Flush()
-				continue
+				return
 			}
 			n, err := strconv.Atoi(fields[2])
-			if err != nil || n < 0 || n > 1<<20 {
+			if err != nil || n < 0 {
 				fmt.Fprintf(wtr, "CLIENT_ERROR bad length\r\n")
+				wtr.Flush()
+				return
+			}
+			if n > maxValueBytes {
+				if _, err := io.CopyN(io.Discard, r, int64(n)+2); err != nil {
+					return
+				}
+				fmt.Fprintf(wtr, "SERVER_ERROR object too large\r\n")
 				wtr.Flush()
 				continue
 			}
@@ -200,8 +238,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close shuts the server down: stop accepting, wait for connections to
-// drain, stop the workers.
+// Close shuts the server down: stop accepting, unblock and drain the open
+// connections, stop the workers. A client that holds its socket open without
+// sending cannot stall shutdown: every open connection's read deadline is
+// set to the past, so its blocked read returns immediately (an in-flight
+// request still gets its response — workers run until the connections are
+// drained).
 func (s *Server) Close() {
 	select {
 	case <-s.closed:
@@ -210,6 +252,11 @@ func (s *Server) Close() {
 		close(s.closed)
 	}
 	s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
 	s.connWG.Wait()
 	close(s.dispatch)
 	s.wg.Wait()

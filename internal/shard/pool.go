@@ -1,0 +1,336 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/kv"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// Config parameterises a Pool. Sizes are per shard: a pool of N shards over
+// the same total key space needs roughly 1/N of the heap and buckets per
+// shard that a single-runtime store would.
+type Config struct {
+	// Shards is the number of partitions (>= 1).
+	Shards int
+
+	// Workers is the number of worker-thread handles per shard runtime.
+	// Every worker index may operate on every shard (the router decides),
+	// so each shard's runtime is sized for the full worker count.
+	Workers int
+
+	// Buckets is the per-shard hash-table size.
+	Buckets int
+
+	// HeapBytes is the per-shard simulated NVMM size.
+	HeapBytes int64
+
+	// Interval is the per-shard checkpoint period. Zero disables the
+	// checkpoint driver (callers may drive CheckpointAll themselves).
+	Interval time.Duration
+
+	// Sync makes all shards checkpoint simultaneously each interval, so the
+	// whole store's recovery point is never older than Interval — at the
+	// price of a whole-store stall every interval, exactly like a single
+	// unsharded runtime. The default (false) staggers shards round-robin,
+	// one shard per interval: a stall only ever covers one shard, and each
+	// shard's flush coalesces Shards intervals of updates (hot lines are
+	// written back once instead of Shards times), but a shard's recovery
+	// point can be up to Shards*Interval old.
+	Sync bool
+
+	// Chaos builds chaos-mode heaps (random background eviction hazard)
+	// seeded per shard from Seed; crash soaks use it.
+	Chaos bool
+
+	// Seed seeds per-shard chaos heaps.
+	Seed int64
+
+	// RecoveryParallelism is the per-shard block-scan parallelism used by
+	// core.Recover (shards themselves always recover in parallel).
+	RecoveryParallelism int
+}
+
+func (cfg *Config) defaults() error {
+	if cfg.Shards < 1 {
+		return fmt.Errorf("shard: shard count %d < 1", cfg.Shards)
+	}
+	if cfg.Workers < 1 {
+		return fmt.Errorf("shard: worker count %d < 1", cfg.Workers)
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 1 << 12
+	}
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = 256 << 20
+	}
+	if cfg.RecoveryParallelism == 0 {
+		cfg.RecoveryParallelism = 4
+	}
+	return nil
+}
+
+func (cfg Config) newHeap(i int) *pmem.Heap {
+	if cfg.Chaos {
+		return pmem.New(pmem.Config{Size: cfg.HeapBytes, Chaos: true, Seed: cfg.Seed + int64(i)*101})
+	}
+	return pmem.New(pmem.NVMMConfig(cfg.HeapBytes))
+}
+
+// Shard is one partition: a private heap, runtime and store.
+type Shard struct {
+	Index int
+	Heap  *pmem.Heap
+	RT    *core.Runtime
+	KV    *kv.RespctStore
+}
+
+// Pool owns N shards and their checkpoint schedule.
+type Pool struct {
+	cfg    Config
+	shards []*Shard
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	started   atomic.Bool
+	stopped   atomic.Bool
+	maxPause  atomic.Int64 // longest single-shard checkpoint, ns
+	ckptRound atomic.Uint64
+}
+
+// NewPool formats cfg.Shards fresh shards and makes their empty stores
+// durable. The checkpoint driver is not started — call Start once any
+// quiesced hooks (crash soaks) are installed.
+func NewPool(cfg Config) (*Pool, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	p := &Pool{cfg: cfg, shards: make([]*Shard, cfg.Shards), stop: make(chan struct{})}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := cfg.newHeap(i)
+			rt, err := core.NewRuntime(h, core.Config{Threads: cfg.Workers})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st, err := kv.NewRespctStore(rt, 0, cfg.Buckets)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Make the empty store durable, then leave every worker's
+			// allow window open: pool workers only close it around an
+			// operation on this specific shard (see Store).
+			for w := 0; w < cfg.Workers; w++ {
+				rt.Thread(w).CheckpointAllow()
+			}
+			rt.Checkpoint()
+			p.shards[i] = &Shard{Index: i, Heap: h, RT: rt, KV: st}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Recover rebuilds a pool from crashed (or reopened) per-shard heaps: every
+// shard recovers in parallel, each rolling back to its own last completed
+// checkpoint. The merged report aggregates the per-shard passes; Duration is
+// the wall-clock time of the parallel recovery. The checkpoint driver is not
+// started — call Start.
+func Recover(cfg Config, heaps []*pmem.Heap) (*Pool, *RecoveryReport, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	if len(heaps) != cfg.Shards {
+		return nil, nil, fmt.Errorf("shard: %d heaps for %d shards", len(heaps), cfg.Shards)
+	}
+	start := time.Now()
+	p := &Pool{cfg: cfg, shards: make([]*Shard, cfg.Shards), stop: make(chan struct{})}
+	rep := &RecoveryReport{PerShard: make([]core.RecoveryReport, cfg.Shards)}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Shards)
+	for i := range heaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt, r, err := core.Recover(heaps[i], core.Config{Threads: cfg.Workers}, cfg.RecoveryParallelism)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			st, err := kv.OpenRespctStore(rt, 0)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				rt.Thread(w).CheckpointAllow()
+			}
+			rep.PerShard[i] = *r
+			p.shards[i] = &Shard{Index: i, Heap: heaps[i], RT: rt, KV: st}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	rep.Duration = time.Since(start)
+	rep.merge()
+	return p, rep, nil
+}
+
+// RecoveryReport merges the per-shard recovery passes.
+type RecoveryReport struct {
+	PerShard        []core.RecoveryReport
+	BlocksScanned   int
+	CellsScanned    int
+	CellsRolledBack int
+	Duration        time.Duration // wall clock of the parallel recovery
+}
+
+func (r *RecoveryReport) merge() {
+	for _, s := range r.PerShard {
+		r.BlocksScanned += s.BlocksScanned
+		r.CellsScanned += s.CellsScanned
+		r.CellsRolledBack += s.CellsRolledBack
+	}
+}
+
+// FailedEpochs returns each shard's failed epoch (shards checkpoint
+// independently, so the epochs generally differ).
+func (r *RecoveryReport) FailedEpochs() []uint64 {
+	out := make([]uint64, len(r.PerShard))
+	for i, s := range r.PerShard {
+		out[i] = s.FailedEpoch
+	}
+	return out
+}
+
+// NumShards returns the shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Shard returns partition i.
+func (p *Pool) Shard(i int) *Shard { return p.shards[i] }
+
+// Config returns the pool's configuration (after defaulting).
+func (p *Pool) Config() Config { return p.cfg }
+
+// Start launches the checkpoint driver: one tick every Interval. With Sync
+// unset, each tick checkpoints the next shard round-robin (so at most one
+// shard pauses at a time and each shard's period is Shards*Interval); with
+// Sync set, every tick checkpoints all shards together. A zero Interval
+// makes Start a no-op.
+func (p *Pool) Start() {
+	if p.cfg.Interval <= 0 || !p.started.CompareAndSwap(false, true) {
+		return
+	}
+	tick := p.cfg.Interval
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		timer := time.NewTimer(tick)
+		defer timer.Stop()
+		next := 0
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-timer.C:
+			}
+			if p.cfg.Sync {
+				p.CheckpointAll()
+			} else {
+				p.checkpointShard(next)
+				next = (next + 1) % len(p.shards)
+			}
+			timer.Reset(tick)
+		}
+	}()
+}
+
+// checkpointShard checkpoints one live shard and records the pause.
+func (p *Pool) checkpointShard(i int) {
+	sh := p.shards[i]
+	if sh.Heap.Crashed() {
+		return
+	}
+	info := sh.RT.Checkpoint()
+	for {
+		cur := p.maxPause.Load()
+		if int64(info.Total) <= cur || p.maxPause.CompareAndSwap(cur, int64(info.Total)) {
+			break
+		}
+	}
+}
+
+// CheckpointAll runs one checkpoint on every live shard in parallel and
+// returns when all complete. Used by the Sync schedule, by snapshotting, and
+// by callers that drive checkpoints themselves.
+func (p *Pool) CheckpointAll() {
+	var wg sync.WaitGroup
+	for i := range p.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.checkpointShard(i)
+		}(i)
+	}
+	wg.Wait()
+	p.ckptRound.Add(1)
+}
+
+// Close stops the checkpoint driver and waits for any in-flight checkpoint.
+// Shard state stays readable afterwards.
+func (p *Pool) Close() {
+	if p.stopped.CompareAndSwap(false, true) {
+		close(p.stop)
+	}
+	p.wg.Wait()
+}
+
+// ResetMaxPause clears the recorded longest pause. Benchmarks call it after
+// a bulk-load checkpoint so the statistic reflects only the measured phase.
+func (p *Pool) ResetMaxPause() { p.maxPause.Store(0) }
+
+// PoolStats aggregates checkpoint activity across shards.
+type PoolStats struct {
+	Shards      int
+	Checkpoints uint64
+	AddrsSeen   uint64
+	LinesWrote  uint64
+	GateWait    time.Duration
+	FlushTime   time.Duration
+	TotalPause  time.Duration
+	MaxPause    time.Duration // longest single-shard pause seen by the driver
+}
+
+// Stats merges every shard runtime's counters.
+func (p *Pool) Stats() PoolStats {
+	out := PoolStats{Shards: len(p.shards), MaxPause: time.Duration(p.maxPause.Load())}
+	for _, sh := range p.shards {
+		s := sh.RT.Stats()
+		out.Checkpoints += s.Checkpoints
+		out.AddrsSeen += s.AddrsSeen
+		out.LinesWrote += s.LinesWrote
+		out.GateWait += s.GateWait
+		out.FlushTime += s.FlushTime
+		out.TotalPause += s.TotalPause
+	}
+	return out
+}

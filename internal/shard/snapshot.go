@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// ShardFile derives shard i's image path from a base path: "kv.img" becomes
+// "kv-0.img", "kv-1.img", …; a base without an extension gets "-<i>"
+// appended.
+func ShardFile(base string, i int) string {
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s-%d%s", strings.TrimSuffix(base, ext), i, ext)
+}
+
+// SnapshotFiles checkpoints every shard, then writes each shard's persistent
+// image to ShardFile(base, i). Every image is written to a temporary file in
+// the same directory and renamed into place, so a crash mid-write never
+// leaves a truncated image under the final name; on error the already-written
+// shards keep their previous images.
+func (p *Pool) SnapshotFiles(base string) error {
+	p.CheckpointAll()
+	var wg sync.WaitGroup
+	errs := make([]error, len(p.shards))
+	for i, sh := range p.shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			errs[i] = writeImageAtomic(ShardFile(base, i), sh.Heap)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeImageAtomic snapshots h into path via a temp file + rename.
+func writeImageAtomic(path string, h *pmem.Heap) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := h.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// HaveSnapshotFiles reports whether all cfg.Shards image files exist under
+// base (a complete previous run to recover from).
+func HaveSnapshotFiles(base string, shards int) bool {
+	for i := 0; i < shards; i++ {
+		if _, err := os.Stat(ShardFile(base, i)); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotFileCount returns the number of consecutive shard images present
+// under base (kv-0.img, kv-1.img, … until the first gap) — the shard count a
+// previous run snapshotted with. Callers must refuse to recover with a
+// different count: fewer shards would silently drop the extra images' keys,
+// more would start empty, and either way the router modulus would no longer
+// match the on-disk partitioning.
+func SnapshotFileCount(base string) int {
+	n := 0
+	for {
+		if _, err := os.Stat(ShardFile(base, n)); err != nil {
+			return n
+		}
+		n++
+	}
+}
+
+// OpenPoolFiles opens every shard image under base and recovers the pool
+// from them (all shards in parallel). The shard count of cfg must match the
+// count the images were written with.
+func OpenPoolFiles(cfg Config, base string) (*Pool, *RecoveryReport, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	heaps := make([]*pmem.Heap, cfg.Shards)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := ShardFile(base, i)
+			f, err := os.Open(path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer f.Close()
+			h, err := pmem.Open(f, pmem.NVMMConfig(0))
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", path, err)
+				return
+			}
+			heaps[i] = h
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return Recover(cfg, heaps)
+}

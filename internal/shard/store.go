@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"github.com/respct/respct/internal/kv"
+)
+
+// Store adapts a Pool to the kv.Store interface, so kv.Server (and any
+// other Store consumer) serves a sharded pool unchanged.
+//
+// Checkpoint gating is per operation: a worker's allow window is open on
+// every shard while the worker is between operations, and closed only on
+// the shard an operation routes to, for the duration of that operation.
+// kv.Server's own wait-for-work gating (the idleAware path) does not apply —
+// Store deliberately does not expose a single Runtime.
+type Store struct {
+	p *Pool
+}
+
+// Store returns the pool's kv.Store adapter.
+func (p *Pool) Store() *Store { return &Store{p: p} }
+
+// Pool returns the underlying pool (for stats and lifecycle).
+func (s *Store) Pool() *Pool { return s.p }
+
+// Set implements kv.Store.
+func (s *Store) Set(th int, key string, value []byte) {
+	sh := s.p.shards[s.p.ShardFor(key)]
+	t := sh.RT.Thread(th)
+	t.CheckpointPrevent(nil)
+	sh.KV.Set(th, key, value)
+	sh.KV.PerOp(th)
+	t.CheckpointAllow()
+}
+
+// Get implements kv.Store.
+func (s *Store) Get(th int, key string) ([]byte, bool) {
+	sh := s.p.shards[s.p.ShardFor(key)]
+	t := sh.RT.Thread(th)
+	t.CheckpointPrevent(nil)
+	v, ok := sh.KV.Get(th, key)
+	sh.KV.PerOp(th)
+	t.CheckpointAllow()
+	return v, ok
+}
+
+// Delete implements kv.Store.
+func (s *Store) Delete(th int, key string) bool {
+	sh := s.p.shards[s.p.ShardFor(key)]
+	t := sh.RT.Thread(th)
+	t.CheckpointPrevent(nil)
+	ok := sh.KV.Delete(th, key)
+	sh.KV.PerOp(th)
+	t.CheckpointAllow()
+	return ok
+}
+
+// PerOp implements kv.Store. Restart points are placed inside Set/Get/Delete
+// (while the target shard's prevent window is held), so this is a no-op.
+func (s *Store) PerOp(int) {}
+
+// ThreadExit implements kv.Store: every shard's allow window for th is
+// (re)opened so no shard's checkpointer can stall on an exited worker.
+func (s *Store) ThreadExit(th int) {
+	for _, sh := range s.p.shards {
+		sh.RT.Thread(th).CheckpointAllow()
+	}
+}
+
+// SnapshotLogical merges every shard's logical contents (test/soak helper;
+// callers must ensure quiescence).
+func (s *Store) SnapshotLogical() map[string]string {
+	out := make(map[string]string)
+	for _, sh := range s.p.shards {
+		for k, v := range sh.KV.SnapshotLogical() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// interface compliance
+var _ kv.Store = (*Store)(nil)
