@@ -11,9 +11,13 @@
 //
 // Usage:
 //
-//	kvserver [-addr :11222] [-workers 4] [-shards 1] [-sync]
+//	kvserver [-addr :11222] [-workers 4] [-shards 1] [-sync] [-async]
 //	         [-buckets 1048576] [-interval 64ms] [-heap 2147483648]
 //	         [-snapshot kv.img] [-transient]
+//
+// -async switches every shard runtime to asynchronous checkpointing: workers
+// pause only for the cut, the flush and the durable epoch commit run in the
+// background (the recovery staleness bound doubles to two intervals).
 //
 // -buckets and -heap are totals for the whole store; each shard gets a 1/N
 // slice.
@@ -37,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 4, "server worker threads")
 	shards := flag.Int("shards", 1, "key-space partitions, each with its own heap and runtime")
 	sync := flag.Bool("sync", false, "checkpoint all shards together instead of staggering them")
+	async := flag.Bool("async", false, "asynchronous checkpoints: workers pause only for the cut, flush and durable commit run in the background (staleness bound doubles)")
 	buckets := flag.Int("buckets", 1<<20, "hash-table buckets (total across shards)")
 	interval := flag.Duration("interval", 64*time.Millisecond, "checkpoint period")
 	heapBytes := flag.Int64("heap", 2<<30, "simulated NVMM size in bytes (total across shards)")
@@ -68,6 +73,7 @@ func main() {
 		HeapBytes: *heapBytes / int64(*shards),
 		Interval:  *interval,
 		Sync:      *sync,
+		Async:     *async,
 	}
 
 	if *snapshot != "" {
@@ -110,6 +116,9 @@ func main() {
 	schedule := "staggered"
 	if *sync {
 		schedule = "synchronized"
+	}
+	if *async {
+		schedule += " async"
 	}
 	fmt.Printf("ResPCT kvserver listening on %s (%d shard(s), %s checkpoint every %v)\n",
 		srv.Addr(), *shards, schedule, *interval)

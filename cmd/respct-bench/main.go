@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	respct-bench [flags] <fig8|fig9|fig10|fig11|fig12|fig13|fig14|figshards|rpstudy|table3|all>
+//	respct-bench [flags] <fig8|fig9|fig10|fig11|fig12|fig13|fig14|figshards|figpause|rpstudy|table3|all>
 //
 // Flags:
 //
@@ -114,6 +114,8 @@ func main() {
 			fmt.Print(bench.Fig14(ks, log))
 		case "figshards":
 			fmt.Print(bench.FigShards(ks, nil, log))
+		case "figpause":
+			fmt.Print(bench.FigPause(ks, nil, log))
 		case "rpstudy":
 			fmt.Print(bench.RPPlacementStudy(as, log))
 		case "table3":
@@ -126,7 +128,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "figshards", "rpstudy", "table3"} {
+		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "figshards", "figpause", "rpstudy", "table3"} {
 			run(name)
 		}
 		return

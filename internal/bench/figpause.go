@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/respct/respct/internal/shard"
+	"github.com/respct/respct/internal/ycsb"
+)
+
+// PauseResult is one row of the figPause sweep.
+type PauseResult struct {
+	Async       bool
+	Interval    time.Duration
+	KopsPerSec  float64
+	P50, P99    time.Duration
+	Checkpoints uint64
+	MeanPause   time.Duration // mean worker-visible checkpoint pause
+	MaxPause    time.Duration // worst single pause
+	CommitLag   time.Duration // mean cut-to-durable-commit lag (async only)
+	CollFlush   uint64        // worker flush-on-collision events (async only)
+	CollLogged  uint64        // collision undo-log appends (async only)
+	LinesWrote  uint64
+}
+
+// FigPause compares synchronous and pipelined (async-flush) checkpoints on
+// the unsharded KV store under the balanced YCSB mix, across checkpoint
+// intervals. In sync mode the worker-visible pause is the whole checkpoint —
+// gate, cut and flush; in async mode workers resume at the cut and the flush
+// drains in the background, so the pause column collapses to the gate+cut
+// cost while the commit-lag column shows what the pipeline deferred. The
+// collision columns count how often epoch-N+1 writes caught up with lines the
+// drain still owed to NVMM (each one is a worker-side line flush, plus an
+// undo-log append when an InCLL cell is modified in both epochs).
+func FigPause(s KVScale, intervals []time.Duration, log func(string)) string {
+	out, _ := FigPauseR(s, intervals, log)
+	return out
+}
+
+// FigPauseR is FigPause returning the raw per-row results as well.
+func FigPauseR(s KVScale, intervals []time.Duration, log func(string)) (string, []PauseResult) {
+	if intervals == nil {
+		intervals = []time.Duration{s.Interval / 4, s.Interval, 4 * s.Interval}
+	}
+	var out strings.Builder
+	out.WriteString(fmt.Sprintf("figPause — sync vs async checkpoints, YCSB balanced (50R/50W), %d keys, %d-byte values, %d workers, %d ops\n",
+		s.Records, s.ValueSize, s.Workers, s.Operations))
+	out.WriteString(fmt.Sprintf("%-6s %9s %9s %9s %9s %7s %11s %11s %11s %10s %10s %10s\n",
+		"mode", "interval", "kops/s", "p50", "p99", "ckpts", "mean pause", "max pause", "commit lag", "coll-flush", "coll-log", "lines"))
+	var results []PauseResult
+	for _, iv := range intervals {
+		var pair [2]PauseResult
+		for i, async := range []bool{false, true} {
+			if log != nil {
+				log(fmt.Sprintf("figpause interval=%v async=%v", iv, async))
+			}
+			pair[i] = runPauseRow(s, iv, async)
+			results = append(results, pair[i])
+			out.WriteString(formatPauseRow(pair[i]))
+			runtime.GC()
+		}
+		if sy, as := pair[0], pair[1]; as.MeanPause > 0 && sy.MeanPause > 0 {
+			// Async holds the nominal cadence while sync's pause stretches
+			// its effective period, so the async row usually delivers more
+			// checkpoints (= more flush work on this single-CPU host).
+			out.WriteString(fmt.Sprintf("  interval %v: async mean pause %.1fx lower, throughput %.2fx, checkpoints %.1fx\n",
+				iv, float64(sy.MeanPause)/float64(as.MeanPause), as.KopsPerSec/sy.KopsPerSec,
+				float64(as.Checkpoints)/float64(sy.Checkpoints)))
+		}
+	}
+	return out.String(), results
+}
+
+func runPauseRow(s KVScale, interval time.Duration, async bool) PauseResult {
+	w := ycsb.Workload{
+		Name: "balanced (50R/50W)", Records: s.Records, Operations: s.Operations,
+		ReadProp: 0.5, ValueSize: s.ValueSize, Zipfian: true,
+		Clients: s.Workers, Seed: 42,
+	}
+	cfg := shardKVConfig(s, 1, false)
+	cfg.Interval = interval
+	cfg.Async = async
+	p, err := shard.NewPool(cfg)
+	if err != nil {
+		panic(err)
+	}
+	ex := storeExecutor{st: p.Store()}
+	// Load with the driver off, make the load durable, then measure.
+	if _, err := ycsb.Load(w, ex); err != nil {
+		panic(err)
+	}
+	p.CheckpointAll()
+	p.WaitDrains()
+	base := p.Stats()
+	p.ResetMaxPause()
+	p.Start()
+	res, err := ycsb.Run(w, ex)
+	if err != nil {
+		panic(err)
+	}
+	p.Close() // stops the driver and joins any in-flight drain
+	st := p.Stats()
+
+	r := PauseResult{
+		Async:       async,
+		Interval:    interval,
+		KopsPerSec:  res.KopsPerSec(),
+		P50:         res.P50,
+		P99:         res.P99,
+		Checkpoints: st.Checkpoints - base.Checkpoints,
+		MaxPause:    st.MaxPause,
+		CollFlush:   st.CollisionFlushes - base.CollisionFlushes,
+		CollLogged:  st.CollisionsLogged - base.CollisionsLogged,
+		LinesWrote:  st.LinesWrote - base.LinesWrote,
+	}
+	if r.Checkpoints > 0 {
+		r.MeanPause = (st.TotalPause - base.TotalPause) / time.Duration(r.Checkpoints)
+	}
+	if d := st.Drains - base.Drains; d > 0 {
+		r.CommitLag = (st.CommitLag - base.CommitLag) / time.Duration(d)
+	}
+	return r
+}
+
+func formatPauseRow(r PauseResult) string {
+	mode := "sync"
+	if r.Async {
+		mode = "async"
+	}
+	return fmt.Sprintf("%-6s %9v %9.1f %9v %9v %7d %11v %11v %11v %10d %10d %10d\n",
+		mode, r.Interval, r.KopsPerSec,
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.Checkpoints,
+		r.MeanPause.Round(10*time.Microsecond), r.MaxPause.Round(10*time.Microsecond),
+		r.CommitLag.Round(10*time.Microsecond),
+		r.CollFlush, r.CollLogged, r.LinesWrote)
+}

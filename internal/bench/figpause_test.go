@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFigPauseReport(t *testing.T) {
+	s := KVScale{
+		Records: 1_000, Operations: 6_000, ValueSize: 32,
+		Clients: 4, Workers: 4, Buckets: 1 << 10,
+		Interval: 4 * time.Millisecond, HeapBytes: 64 << 20,
+	}
+	out, results := FigPauseR(s, []time.Duration{4 * time.Millisecond}, nil)
+	if !strings.Contains(out, "sync") || !strings.Contains(out, "async") {
+		t.Fatalf("report missing mode rows:\n%s", out)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d rows, want 2", len(results))
+	}
+	sy, as := results[0], results[1]
+	if sy.Async || !as.Async {
+		t.Fatalf("row order wrong: %+v", results)
+	}
+	for _, r := range results {
+		if r.KopsPerSec <= 0 {
+			t.Fatalf("row reported no throughput: %+v", r)
+		}
+	}
+	// The sweep is too small to assert the full ≥3x pause reduction here,
+	// but the async rows must at least measure a commit pipeline at work.
+	if as.Checkpoints > 0 && as.CommitLag == 0 {
+		t.Fatalf("async row has checkpoints but no commit lag: %+v", as)
+	}
+}

@@ -38,7 +38,7 @@ const (
 	headerSize  = pmem.LineSize
 	blockMagic  = 0x526c6f636b3231 // "Rlock21"
 	formatMagic = 0x5265735043542e // "ResPCT."
-	formatVer   = 1
+	formatVer   = 2                // v2 added the collision log lines
 
 	hdrNextOff   = 0  // header InCLL cell: free-list next
 	hdrLayoutOff = 24 // header InCLL cell: packed layout
@@ -51,7 +51,16 @@ const (
 	metaIdxLine    = metaClassLine0 + numClasses // reserved (spare)
 	metaRPLine0    = metaIdxLine + 1
 	metaRPLines    = MaxThreads * 8 / pmem.LineSize
-	metaLines      = metaRPLine0 + metaRPLines
+
+	// Collision log (async checkpointing, see async.go): a header line
+	// (word 0: guard epoch — the epoch whose drain the entries belong to;
+	// word 1: entry count) followed by collLogEntries 16-byte entries of
+	// (cell address, pre-drain backup value).
+	collLogHdrLine  = metaRPLine0 + metaRPLines
+	collLogEntLine0 = collLogHdrLine + 1
+	collLogEntLines = collLogEntries * 16 / pmem.LineSize
+
+	metaLines = collLogEntLine0 + collLogEntLines
 )
 
 func classSize(class int) int { return headerSize << class }
@@ -129,6 +138,11 @@ func formatArena(rt *Runtime) (*Arena, error) {
 	for i := 0; i < MaxThreads; i++ {
 		sys.StoreTracked(a.rpSlot(i), 0)
 	}
+	// Collision-log header: guard epoch 0 (matches no failed epoch) and an
+	// empty count. The entry lines need no formatting — the count gates
+	// them.
+	sys.StoreTracked(a.collHdrAddr(), 0)
+	sys.StoreTracked(a.collHdrAddr()+8, 0)
 	// The marker is stored but persisted separately, last (NewRuntime).
 	h := rt.heap
 	mb := a.markerAddr()
@@ -145,6 +159,16 @@ func (a *Arena) markerAddr() pmem.Addr {
 
 func (a *Arena) rpSlot(i int) pmem.Addr {
 	return a.metaBase + pmem.Addr(metaRPLine0*pmem.LineSize+i*8)
+}
+
+// collHdrAddr returns the collision-log header line (guard epoch, count).
+func (a *Arena) collHdrAddr() pmem.Addr {
+	return a.metaBase + pmem.Addr(collLogHdrLine*pmem.LineSize)
+}
+
+// collEntryAddr returns the address of collision-log entry i.
+func (a *Arena) collEntryAddr(i int) pmem.Addr {
+	return a.metaBase + pmem.Addr(collLogEntLine0*pmem.LineSize+i*16)
 }
 
 func (a *Arena) persistFormatMarker(f *pmem.Flusher) {
@@ -192,10 +216,14 @@ func (a *Arena) Alloc(t *Thread, cells, rawWords int) pmem.Addr {
 	// Fast path: the thread's own magazine. No lock, no persistent-state
 	// change — recycling is purely volatile, with the same crash semantics
 	// as the deferred free list (blocks freed in the epoch a crash destroys
-	// leak; nothing can be recycled in the epoch that freed it).
+	// leak; nothing can be recycled in the epoch that freed it). The gate is
+	// the *durable* epoch, not the DRAM epoch cache: under async
+	// checkpointing a block freed in epoch N keeps its NVMM payload — which
+	// a crash during the drain of N still recovers through — until C_N has
+	// durably committed. In sync mode the two epochs coincide.
 	if mag := &t.magazines[class]; t.magStart[class] < len(*mag) {
 		e := (*mag)[t.magStart[class]]
-		if e.epoch < t.rt.epochCache.Load() {
+		if e.epoch < t.rt.durableEpoch.Load() {
 			t.magStart[class]++
 			if t.magStart[class] == len(*mag) {
 				*mag = (*mag)[:0]
@@ -286,23 +314,38 @@ func (a *Arena) Free(t *Thread, payload pmem.Addr) {
 func (a *Arena) applyDeferredFrees(sys *Thread, threads []*Thread) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	h := a.heap
-	push := func(block pmem.Addr) {
-		class, _, _ := unpackLayout(h.Load64(block + hdrLayoutOff + cellRecordOff))
-		head := a.heads[class]
-		sys.Update(InCLLAt(block+hdrNextOff), sys.Read(head))
-		sys.Update(head, uint64(block))
-	}
 	for _, t := range threads {
 		for _, b := range t.pendingFree {
-			push(b)
+			a.pushLocked(sys, b)
 		}
 		t.pendingFree = t.pendingFree[:0]
 	}
 	for _, b := range sys.pendingFree {
-		push(b)
+		a.pushLocked(sys, b)
 	}
 	sys.pendingFree = sys.pendingFree[:0]
+}
+
+// pushBlocks pushes a stolen deferred-free list onto the free lists. The
+// async drain calls it after its commit: the pushes are InCLL updates in the
+// new epoch, so a crash rolls them back and the blocks merely leak.
+func (a *Arena) pushBlocks(sys *Thread, blocks []pmem.Addr) {
+	if len(blocks) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, b := range blocks {
+		a.pushLocked(sys, b)
+	}
+}
+
+// pushLocked pushes one block onto its class free list. Caller holds a.mu.
+func (a *Arena) pushLocked(sys *Thread, block pmem.Addr) {
+	class, _, _ := unpackLayout(a.heap.Load64(block + hdrLayoutOff + cellRecordOff))
+	head := a.heads[class]
+	sys.Update(InCLLAt(block+hdrNextOff), sys.Read(head))
+	sys.Update(head, uint64(block))
 }
 
 // Cell returns the i-th InCLL cell of a block payload returned by Alloc.

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+func newAsyncRuntime(t *testing.T, threads int, chaos bool) *Runtime {
+	t.Helper()
+	cfg := pmem.Config{Size: 8 << 20}
+	if chaos {
+		cfg.Chaos = true
+		cfg.Seed = 7
+	}
+	rt, err := NewRuntime(pmem.New(cfg), Config{Threads: threads, AsyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// stallDrain installs a drain hook that blocks every drain at its start
+// until release is closed, reporting each entered drain's epoch on entered.
+func stallDrain(rt *Runtime) (entered chan uint64, release chan struct{}) {
+	entered = make(chan uint64, 8)
+	release = make(chan struct{})
+	rt.SetDrainHook(func(ending uint64, preCommit bool) {
+		if !preCommit {
+			entered <- ending
+			<-release
+		}
+	})
+	return entered, release
+}
+
+func TestAsyncCheckpointCommitsInBackground(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, false)
+	th := rt.Thread(0)
+	v := Cell(rt.Arena().AllocCells(th, 1), 0)
+	th.Init(v, 41)
+	th.Update(v, 42)
+
+	info := mustCheckpointSolo(t, rt)
+	rt.WaitDrain()
+
+	if info.FlushTime != 0 || info.LinesWrote != 0 {
+		t.Fatalf("async CheckpointInfo reported foreground flush work: %+v", info)
+	}
+	if got := rt.DurableEpoch(); got != info.Epoch+1 {
+		t.Fatalf("durable epoch = %d, want %d", got, info.Epoch+1)
+	}
+	if got := rt.Heap().LoadPersistent64(rt.Heap().EpochAddr()); got != info.Epoch+1 {
+		t.Fatalf("persistent epoch = %d, want %d", got, info.Epoch+1)
+	}
+	if got := rt.Heap().LoadPersistent64(v.Addr()); got != 42 {
+		t.Fatalf("persistent record = %d, want 42", got)
+	}
+	st := rt.Stats()
+	if st.Drains != 1 {
+		t.Fatalf("drains = %d, want 1", st.Drains)
+	}
+	if st.LinesWrote == 0 {
+		t.Fatal("drain reported zero lines written back")
+	}
+}
+
+func TestAsyncCollisionFlushAndLogDuringDrain(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, false)
+	h := rt.Heap()
+	th := rt.Thread(0)
+	v := Cell(rt.Arena().AllocCells(th, 1), 0)
+	th.Init(v, 1)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain() // v=1 durable
+
+	th.Update(v, 2) // first update of the running epoch
+	entered, release := stallDrain(rt)
+	info := mustCheckpointSolo(t, rt) // cut returns immediately, drain stalls
+	<-entered
+
+	// Colliding update while the drain still owes v's line to NVMM: the
+	// worker must flush the cut image first (record=2) and undo-log the
+	// previous durable cut's value (backup=1) to the collision log.
+	th.Update(v, 3)
+	if got := h.LoadPersistent64(v.Addr()); got != 2 {
+		t.Fatalf("flush-on-collision persisted record %d, want the cut value 2", got)
+	}
+	st := rt.Stats()
+	if st.CollisionFlushes == 0 {
+		t.Fatal("no collision flush recorded")
+	}
+	if st.CollisionsLogged == 0 {
+		t.Fatal("no collision-log entry recorded")
+	}
+	if got := rt.DurableEpoch(); got != info.Epoch {
+		t.Fatalf("durable epoch advanced to %d before the drain committed", got)
+	}
+
+	close(release)
+	rt.WaitDrain()
+	if got := rt.DurableEpoch(); got != info.Epoch+1 {
+		t.Fatalf("durable epoch = %d after drain, want %d", got, info.Epoch+1)
+	}
+}
+
+func TestAsyncStoreTrackedFlushOnCollision(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, false)
+	h := rt.Heap()
+	th := rt.Thread(0)
+	p := rt.Arena().AllocRaw(th, 8)
+	th.StoreTracked(p, 30)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain()
+
+	th.StoreTracked(p, 31) // tracked in the running epoch
+	entered, release := stallDrain(rt)
+	mustCheckpointSolo(t, rt)
+	<-entered
+
+	th.StoreTracked(p, 40) // collides with the pending line
+	if got := h.LoadPersistent64(p); got != 31 {
+		t.Fatalf("persistent word = %d, want the cut value 31", got)
+	}
+	if rt.Stats().CollisionFlushes == 0 {
+		t.Fatal("no collision flush recorded")
+	}
+	close(release)
+	rt.WaitDrain()
+	// The worker claimed the line; the drain must not have overwritten the
+	// cut image with the epoch-N+1 value.
+	if got := h.LoadPersistent64(p); got != 31 {
+		t.Fatalf("persistent word = %d after drain, want 31", got)
+	}
+}
+
+func TestAsyncCrashMidDrainRecoversPreviousCheckpoint(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, true)
+	h := rt.Heap()
+	th := rt.Thread(0)
+	v := Cell(rt.Arena().AllocCells(th, 1), 0)
+	th.Init(v, 1)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain() // C: v=1 durable
+
+	th.Update(v, 2) // epoch N
+	entered, release := stallDrain(rt)
+	info := mustCheckpointSolo(t, rt) // cut of N; drain of N stalls
+	<-entered
+
+	// Double-epoch collision: v was modified in N and now in N+1. The
+	// backup (1, the value at the last durable cut) moves to the collision
+	// log; then force the worst case — the whole volatile image, including
+	// the (5, 2, N+1) cell, reaches NVMM before the crash.
+	th.Update(v, 5)
+	h.EvictAll()
+	h.Crash()
+	close(release)
+	rt.WaitDrain()
+
+	rt2, rep, err := Recover(h, Config{Threads: 1, AsyncFlush: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedEpoch != info.Epoch {
+		t.Fatalf("failed epoch = %d, want the uncommitted %d", rep.FailedEpoch, info.Epoch)
+	}
+	if !rep.DrainInterrupted {
+		t.Fatal("recovery did not detect the interrupted drain")
+	}
+	if rep.CollisionsApplied == 0 {
+		t.Fatal("no collision-log entries applied")
+	}
+	if got := rt2.Read(v); got != 1 {
+		t.Fatalf("recovered value = %d, want 1 (previous completed checkpoint)", got)
+	}
+
+	// Idempotence: crash again before any checkpoint; recovery must land
+	// on the same state.
+	h.Crash()
+	rt3, rep2, err := Recover(h, Config{Threads: 1, AsyncFlush: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.FailedEpoch != rep.FailedEpoch {
+		t.Fatalf("second recovery failed epoch = %d, want %d", rep2.FailedEpoch, rep.FailedEpoch)
+	}
+	if got := rt3.Read(v); got != 1 {
+		t.Fatalf("second recovery value = %d, want 1", got)
+	}
+}
+
+func TestAsyncCrashPreCommitRecoversPreviousCheckpoint(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, true)
+	h := rt.Heap()
+	th := rt.Thread(0)
+	v := Cell(rt.Arena().AllocCells(th, 1), 0)
+	th.Init(v, 1)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain()
+	th.Update(v, 2)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain() // C: v=2 durable
+
+	th.Update(v, 3)
+	// Crash after the drain's flush but before the epoch counter persists:
+	// every cut line is in NVMM, yet the cut never durably committed.
+	rt.SetDrainHook(func(ending uint64, preCommit bool) {
+		if preCommit {
+			h.Crash()
+		}
+	})
+	info := mustCheckpointSolo(t, rt)
+	rt.WaitDrain()
+
+	rt2, rep, err := Recover(h, Config{Threads: 1, AsyncFlush: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedEpoch != info.Epoch {
+		t.Fatalf("failed epoch = %d, want %d", rep.FailedEpoch, info.Epoch)
+	}
+	if !rep.DrainInterrupted {
+		t.Fatal("recovery did not detect the interrupted drain")
+	}
+	if got := rt2.Read(v); got != 2 {
+		t.Fatalf("recovered value = %d, want 2 (previous completed checkpoint)", got)
+	}
+}
+
+func TestAsyncCrashAfterCommitKeepsLatestCheckpoint(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, true)
+	h := rt.Heap()
+	th := rt.Thread(0)
+	v := Cell(rt.Arena().AllocCells(th, 1), 0)
+	th.Init(v, 1)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain()
+	th.Update(v, 2)
+	info := mustCheckpointSolo(t, rt)
+	rt.WaitDrain() // drain of info.Epoch committed
+	h.Crash()
+
+	rt2, rep, err := Recover(h, Config{Threads: 1, AsyncFlush: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedEpoch != info.Epoch+1 {
+		t.Fatalf("failed epoch = %d, want %d", rep.FailedEpoch, info.Epoch+1)
+	}
+	if rep.DrainInterrupted {
+		t.Fatal("committed drain misdetected as interrupted")
+	}
+	if got := rt2.Read(v); got != 2 {
+		t.Fatalf("recovered value = %d, want 2", got)
+	}
+}
+
+func TestAsyncMagazineRecycleWaitsForDurableEpoch(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, false)
+	th := rt.Thread(0)
+	a := rt.Arena()
+	p := a.AllocCells(th, 1)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain()
+
+	a.Free(th, p) // freed in the running epoch N
+	entered, release := stallDrain(rt)
+	mustCheckpointSolo(t, rt) // cut of N; drain stalls, C_N not durable
+	<-entered
+
+	// The freed block's NVMM payload is still the previous cut's image
+	// (the cut elided it as dead); recycling it now would let epoch-N+1
+	// bytes overwrite state a mid-drain crash recovers through.
+	q := a.AllocCells(th, 1)
+	if q == p {
+		t.Fatal("block recycled before its freeing epoch durably committed")
+	}
+	close(release)
+	rt.WaitDrain()
+	r := a.AllocCells(th, 1)
+	if r != p {
+		t.Fatalf("block not recycled after commit: got %#x, want %#x", uint64(r), uint64(p))
+	}
+}
+
+func TestCheckpointJoinsInFlightDrain(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, false)
+	th := rt.Thread(0)
+	v := Cell(rt.Arena().AllocCells(th, 1), 0)
+	th.Init(v, 1)
+
+	entered, release := stallDrain(rt)
+	first := mustCheckpointSolo(t, rt)
+	<-entered
+
+	done := make(chan CheckpointInfo, 1)
+	go func() {
+		th.CheckpointAllow()
+		info := rt.Checkpoint()
+		th.CheckpointPrevent(nil)
+		done <- info
+	}()
+	select {
+	case <-done:
+		t.Fatal("second checkpoint completed while the first drain was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	second := <-done
+	<-entered // the second cut's own drain
+	rt.WaitDrain()
+	if second.Epoch != first.Epoch+1 {
+		t.Fatalf("second checkpoint closed epoch %d, want %d", second.Epoch, first.Epoch+1)
+	}
+	if got := rt.DurableEpoch(); got != second.Epoch+1 {
+		t.Fatalf("durable epoch = %d, want %d", got, second.Epoch+1)
+	}
+}
+
+// TestAsyncRecoverDoubleEpochBumpCollision pins down the recovery ordering
+// bug where the block walk was bounded by the bump cursor before the
+// collision log had restored it. The bump cell is updated by a carve in
+// epoch N (whose drain stalls) and again by a carve in N+1, and only the
+// bump line — not the fresh blocks' headers — reaches NVMM before the
+// crash. Recovery must take the walk bound from the collision log (the
+// last durable cursor); the mere rollback of the evicted cell yields the
+// not-yet-durable epoch-N cursor, and walking to it hits a block header
+// that was never flushed.
+func TestAsyncRecoverDoubleEpochBumpCollision(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, true)
+	h := rt.Heap()
+	th := rt.Thread(0)
+	v := Cell(rt.Arena().AllocCells(th, 1), 0)
+	th.Init(v, 1)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain() // v = 1 and the bump cursor durable
+
+	if rt.Arena().AllocCells(th, 48) == pmem.NilAddr { // epoch N: fresh carve
+		t.Fatal("carve failed")
+	}
+	entered, release := stallDrain(rt)
+	mustCheckpointSolo(t, rt)
+	<-entered
+
+	if rt.Arena().AllocCells(th, 48) == pmem.NilAddr { // epoch N+1: bump collides
+		t.Fatal("carve failed")
+	}
+	h.EvictLine(int(rt.Arena().bump.Addr() / pmem.LineSize))
+	h.Crash()
+	close(release)
+	rt.WaitDrain()
+
+	rt2, rep, err := Recover(h, Config{Threads: 1, AsyncFlush: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DrainInterrupted {
+		t.Fatal("recovery did not detect the interrupted drain")
+	}
+	if rep.CollisionsApplied == 0 {
+		t.Fatal("no collision-log entries applied")
+	}
+	if got := rt2.Read(v); got != 1 {
+		t.Fatalf("recovered value = %d, want 1", got)
+	}
+}
+
+// TestAsyncRecoveredLinesSurviveNextDrain pins down the dirty-bitmap gap
+// where cells rolled back by recovery were tracked in the system flush list
+// before the bitmaps existed. Execution resumes in the failed epoch, so a
+// post-recovery update of such a cell is not a first touch and relies on
+// that system-list entry alone — without a bit, the next drain's
+// test-and-clear skipped the line and committed an epoch whose update never
+// reached NVMM.
+func TestAsyncRecoveredLinesSurviveNextDrain(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, true)
+	h := rt.Heap()
+	th := rt.Thread(0)
+	v := Cell(rt.Arena().AllocCells(th, 1), 0)
+	th.Init(v, 1)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain() // v = 1 durable
+
+	th.Update(v, 2)
+	h.EvictAll() // the (2, 1, N) cell reaches NVMM uncommitted
+	h.Crash()
+
+	rt2, _, err := Recover(h, Config{Threads: 1, AsyncFlush: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt2.Read(v); got != 1 {
+		t.Fatalf("recovered value = %d, want 1", got)
+	}
+
+	// Update the rolled-back cell in the resumed epoch (tag already
+	// matches: no first touch, no re-tracking), checkpoint, and crash
+	// after the drain commits. The drain must have flushed the line.
+	rt2.Thread(0).Update(v, 3)
+	mustCheckpointSolo(t, rt2)
+	rt2.WaitDrain()
+	h.Crash()
+
+	rt3, _, err := Recover(h, Config{Threads: 1, AsyncFlush: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt3.Read(v); got != 3 {
+		t.Fatalf("value after post-recovery checkpoint and crash = %d, want 3", got)
+	}
+}

@@ -106,7 +106,7 @@ func mustCheckpointSolo(t testing.TB, rt *Runtime) CheckpointInfo {
 	}
 	info := rt.Checkpoint()
 	for i := 0; i < rt.Threads(); i++ {
-		rt.flags[i].v.Store(false)
+		rt.Thread(i).CheckpointPrevent(nil)
 	}
 	return info
 }

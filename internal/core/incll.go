@@ -77,7 +77,14 @@ func (t *Thread) Init(v InCLL, val uint64) {
 func (t *Thread) Update(v InCLL, val uint64) {
 	h := t.rt.heap
 	epoch := t.rt.epochCache.Load()
-	if h.Load64(v.addr+cellEpochOff) != epoch {
+	if tag := h.Load64(v.addr + cellEpochOff); tag != epoch {
+		if t.rt.asyncOn {
+			// A drain may still owe this cell's line to NVMM, and if the
+			// cell was modified in the epoch being drained, the backup we
+			// are about to overwrite is the only copy of the previous
+			// durable cut's value — see async.go.
+			t.collideCell(v.addr, tag)
+		}
 		h.Store64(v.addr+cellBackupOff, h.Load64(v.addr+cellRecordOff))
 		h.Store64(v.addr+cellEpochOff, epoch)
 		t.AddModified(v.addr)
@@ -150,10 +157,25 @@ func (t *Thread) InitAddr(v InCLL, val pmem.Addr) { t.Init(v, uint64(val)) }
 // rollbackCell applies the recovery rule (paper Fig. 5 lines 62-64) to the
 // cell at a, using the persistent image as both source and target: callers
 // run it after Heap.Reopen, so the volatile image equals the persistent one.
-func rollbackCell(h *pmem.Heap, a pmem.Addr, failedEpoch uint64) bool {
-	if h.Load64(a+cellEpochOff) != failedEpoch {
-		return false
+//
+// drained handles a crash inside an async drain window: the failed epoch N
+// never durably committed, but workers were already running epoch N+1, so
+// cells tagged N+1 may have reached NVMM too (evictions, collision flushes).
+// Restoring their backup and retagging with N recovers them: for a cell
+// untouched during epoch N the backup is its value at the last durable cut,
+// and a cell modified in both N and N+1 — whose backup is the not-yet-durable
+// cut-N value — is repaired afterwards from the collision log (see Recover).
+// The retag matters: execution resumes in epoch N, and a tag of N+1 would
+// make the cell's next update in any epoch ≤ N+1 skip its undo logging.
+func rollbackCell(h *pmem.Heap, a pmem.Addr, failedEpoch uint64, drained bool) bool {
+	switch tag := h.Load64(a + cellEpochOff); {
+	case tag == failedEpoch:
+		h.Store64(a+cellRecordOff, h.Load64(a+cellBackupOff))
+		return true
+	case drained && tag == failedEpoch+1:
+		h.Store64(a+cellRecordOff, h.Load64(a+cellBackupOff))
+		h.Store64(a+cellEpochOff, failedEpoch)
+		return true
 	}
-	h.Store64(a+cellRecordOff, h.Load64(a+cellBackupOff))
-	return true
+	return false
 }

@@ -15,6 +15,13 @@ type RecoveryReport struct {
 	CellsScanned    int
 	CellsRolledBack int
 	Duration        time.Duration
+
+	// DrainInterrupted reports that the crash hit inside an async drain
+	// window (the collision-log guard epoch equals the failed epoch):
+	// recovery also rolled back cells tagged failedEpoch+1 and applied
+	// CollisionsApplied entries from the collision log.
+	DrainInterrupted  bool
+	CollisionsApplied int
 }
 
 // Recover reconstructs a consistent runtime from a crashed heap (paper
@@ -56,8 +63,17 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 		return nil, nil, fmt.Errorf("core: formatted heap with epoch 0 — torn format")
 	}
 	rt.epochCache.Store(failedEpoch)
+	rt.durableEpoch.Store(failedEpoch)
 
-	rep := &RecoveryReport{FailedEpoch: failedEpoch}
+	// If the collision-log guard epoch equals the failed epoch, the crash
+	// hit between an async cut of failedEpoch and its durable commit:
+	// epoch failedEpoch+1 was already executing, so its cells must be
+	// rolled back too, and backups destroyed by double-epoch collisions
+	// must be repaired from the log. The epoch counter is monotonic, so a
+	// guard from any *committed* drain can never equal a failed epoch.
+	drained := h.Load64(arena.collHdrAddr()) == failedEpoch
+
+	rep := &RecoveryReport{FailedEpoch: failedEpoch, DrainInterrupted: drained}
 	f := rt.sysFlusher
 
 	// Every cell tagged with the failed epoch is rolled back, flushed, and
@@ -67,7 +83,7 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 	// checkpoint.
 	rollback := func(a pmem.Addr) {
 		rep.CellsScanned++
-		if rollbackCell(h, a, failedEpoch) {
+		if rollbackCell(h, a, failedEpoch, drained) {
 			rep.CellsRolledBack++
 			f.CLWB(a)
 			rt.sys.AddModified(a)
@@ -83,6 +99,39 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 		rollback(h.RootAddr(i))
 	}
 	f.SFence()
+
+	// Replay the collision log before walking the carved region: each entry
+	// names an InCLL cell whose last durable-cut value was evicted from its
+	// backup by an update in the epoch after the interrupted drain's, and
+	// the rollback above restored such cells only to the *not-yet-durable*
+	// cut. The bump cursor itself can be one of them (carves in both epochs)
+	// — and the not-yet-durable bump would extend the walk into blocks whose
+	// headers never reached NVMM — so the log must have its final word
+	// first. Replay and the per-cell rollback are mutually idempotent: a
+	// replayed cell holds record = backup with the failed epoch's tag, which
+	// later rollback passes rewrite to the same value.
+	if drained {
+		cnt := h.Load64(arena.collHdrAddr() + 8)
+		if cnt > collLogEntries {
+			return nil, nil, fmt.Errorf("core: corrupt collision log (count %d)", cnt)
+		}
+		for i := 0; i < int(cnt); i++ {
+			ent := arena.collEntryAddr(i)
+			a := pmem.Addr(h.Load64(ent))
+			val := h.Load64(ent + 8)
+			if a%pmem.WordSize != 0 || int64(a) <= 0 || int64(a)+3*pmem.WordSize > h.Size() ||
+				uint64(a)%pmem.LineSize > pmem.LineSize-3*pmem.WordSize {
+				return nil, nil, fmt.Errorf("core: corrupt collision log entry %d (addr %#x)", i, uint64(a))
+			}
+			h.Store64(a+cellRecordOff, val)
+			h.Store64(a+cellBackupOff, val)
+			h.Store64(a+cellEpochOff, failedEpoch)
+			f.CLWB(a)
+			rt.sys.AddModified(a)
+		}
+		rep.CollisionsApplied = int(cnt)
+		f.SFence()
+	}
 
 	// Walk the carved region block by block. Headers of every reachable
 	// block were flushed by the checkpoint that made them reachable, so
@@ -110,7 +159,7 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 		_, cells, _ := unpackLayout(h.Load64(block + hdrLayoutOff + cellRecordOff))
 		check := func(a pmem.Addr) {
 			scanned++
-			if rollbackCell(h, a, failedEpoch) {
+			if rollbackCell(h, a, failedEpoch, drained) {
 				*matched = append(*matched, a)
 				fl.CLWB(a)
 			}
@@ -183,6 +232,7 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 		}
 		rt.threads[i] = t
 	}
+	rt.finishInit()
 
 	rep.Duration = time.Since(start)
 	return rt, rep, nil

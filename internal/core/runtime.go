@@ -27,6 +27,16 @@ type Config struct {
 	// paper identifies as the bottleneck of unmodified PMThreads).
 	SerialFlush bool
 
+	// AsyncFlush pipelines checkpoints: the checkpoint only parks the
+	// workers long enough to steal every to-be-flushed list, advance the
+	// DRAM epoch cache and arm the collision guard, then releases them; a
+	// background drain writes the stolen lines back and only then persists
+	// the epoch counter (the durable cut commits late). The worker-visible
+	// pause shrinks to the gate + cut, at the price of a staleness bound of
+	// two checkpoint intervals — buffered durable linearizability permits
+	// it. Ignored when SkipFlush is set (there is nothing to overlap).
+	AsyncFlush bool
+
 	// SkipFlush elides flush_modified at checkpoints while keeping the
 	// rest of the algorithm (the ResPCT-noFlush configuration of the
 	// paper's overhead analysis, Fig. 10). Recovery is unsound with it.
@@ -44,7 +54,10 @@ type flagSlot struct {
 	_ [63]byte // avoid false sharing between per-thread flags
 }
 
-// CheckpointInfo describes one completed checkpoint.
+// CheckpointInfo describes one completed checkpoint. Under AsyncFlush,
+// Total is the worker-visible pause only (gate + cut): the flush happens in
+// the background after the workers resume, so FlushTime and LinesWrote are
+// zero here and show up in RuntimeStats once the drain commits.
 type CheckpointInfo struct {
 	Epoch      uint64        // the epoch this checkpoint closed
 	GateWait   time.Duration // time waiting for all threads to reach RPs
@@ -62,6 +75,12 @@ type RuntimeStats struct {
 	GateWait    time.Duration
 	FlushTime   time.Duration
 	TotalPause  time.Duration
+
+	// Async-mode counters (zero in synchronous mode).
+	Drains           uint64        // background drains committed
+	CommitLag        time.Duration // total cut-to-durable-commit lag across drains
+	CollisionFlushes uint64        // pending lines flushed by workers (flush-on-collision)
+	CollisionsLogged uint64        // InCLL cells undo-logged to the collision log
 }
 
 // Runtime is the ResPCT runtime for one persistent heap: the global epoch,
@@ -79,21 +98,48 @@ type Runtime struct {
 	threads []*Thread
 	sys     *Thread // system thread: init, recovery, deferred frees; not gated
 
+	// all caches the workers+sys slice (threads never change after
+	// construction), so checkpoints don't allocate it every epoch.
+	all []*Thread
+
+	// parked counts threads whose checkpoint flag is set. The gate spins on
+	// this single counter instead of rescanning every flag per Gosched.
+	parked atomic.Int32
+
 	arena *Arena
 
 	ckptMu     sync.Mutex
 	sysFlusher *pmem.Flusher // guarded by ckptMu
 
+	// Asynchronous checkpointing state (Config.AsyncFlush; see async.go).
+	asyncOn       bool                       // AsyncFlush && !SkipFlush, frozen at construction
+	durableEpoch  atomic.Uint64              // epoch counter as persisted in NVMM (≤ epochCache)
+	drainLive     atomic.Bool                // a drain is between its cut and its durable commit
+	drainEpochN   atomic.Uint64              // the epoch the live drain is persisting
+	drain         atomic.Pointer[drainJob]   // in-flight drain, nil when none
+	pendingBits   [2][]atomic.Uint64         // 1 bit per heap line; double-buffered dirty/pending maps
+	activeBits    atomic.Uint32              // index tracking writes mark; 1-activeBits is being drained
+	drainFlushers []*pmem.Flusher            // cached by the drain across epochs
+	commitFlusher *pmem.Flusher              // drain-side flusher for the epoch commit
+	collMu        sync.Mutex                 // serialises collision-log appends
+	collCount     int                        // volatile mirror of the log count; guarded by collMu
+	collFlusher   *pmem.Flusher              // guarded by collMu
+	drainHook     func(uint64, bool)         // test hook: (ending, preCommit)
+
 	// quiescedHook, when set, runs while all threads are parked, before
 	// flush_modified. Crash tests use it to certify logical snapshots.
 	quiescedHook func(endingEpoch uint64)
 
-	nCheckpoints atomic.Uint64
-	statAddrs    atomic.Uint64
-	statLines    atomic.Uint64
-	statGateNs   atomic.Int64
-	statFlushNs  atomic.Int64
-	statTotalNs  atomic.Int64
+	nCheckpoints   atomic.Uint64
+	statAddrs      atomic.Uint64
+	statLines      atomic.Uint64
+	statGateNs     atomic.Int64
+	statFlushNs    atomic.Int64
+	statTotalNs    atomic.Int64
+	statDrains     atomic.Uint64
+	statCommitNs   atomic.Int64
+	statCollFlush  atomic.Uint64
+	statCollLogged atomic.Uint64
 }
 
 // Thread is a worker's handle on the runtime. Each handle must be used by a
@@ -137,6 +183,7 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 	rt.sysFlusher = h.NewFlusher()
 	rt.sys = &Thread{rt: rt, id: -1}
 	rt.epochCache.Store(1)
+	rt.durableEpoch.Store(1)
 	h.Store64(h.EpochAddr(), 1)
 
 	arena, err := formatArena(rt)
@@ -156,6 +203,7 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 		t.rpID = cell
 		rt.threads[i] = t
 	}
+	rt.finishInit()
 
 	// Persist the formatted image and close the formatting epoch like a
 	// checkpoint would: flush everything formatting touched, then advance
@@ -171,9 +219,36 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 	rt.sysFlusher.SFence()
 	h.Store64(h.EpochAddr(), 2)
 	rt.epochCache.Store(2)
+	rt.durableEpoch.Store(2)
 	rt.sysFlusher.Persist(h.EpochAddr())
 	arena.persistFormatMarker(rt.sysFlusher)
 	return rt, nil
+}
+
+// finishInit builds the state both NewRuntime and Recover need once the
+// thread handles exist: the cached all-threads slice and, in async mode, the
+// pending-line bitmap and the drain-side flushers.
+func (rt *Runtime) finishInit() {
+	rt.all = make([]*Thread, 0, len(rt.threads)+1)
+	rt.all = append(rt.all, rt.threads...)
+	rt.all = append(rt.all, rt.sys)
+	rt.asyncOn = rt.cfg.AsyncFlush && !rt.cfg.SkipFlush
+	if rt.asyncOn {
+		words := (rt.heap.Lines() + 63) / 64
+		rt.pendingBits[0] = make([]atomic.Uint64, words)
+		rt.pendingBits[1] = make([]atomic.Uint64, words)
+		rt.commitFlusher = rt.heap.NewFlusher()
+		rt.collFlusher = rt.heap.NewFlusher()
+		// Addresses tracked before this point — recovery's rolled-back and
+		// replayed cells in particular — predate the dirty bitmaps. Mark
+		// them now, or the first async drain's test-and-clear would skip
+		// their lines and commit an epoch that never flushed them.
+		for _, t := range rt.all {
+			for _, a := range t.toFlush {
+				rt.markDirty(a)
+			}
+		}
+	}
 }
 
 // Heap returns the underlying persistent heap.
@@ -256,24 +331,47 @@ func (t *Thread) RPID() InCLL { return t.rpID }
 // same exclusion that protected the write.
 func (t *Thread) AddModified(a pmem.Addr) {
 	t.toFlush = append(t.toFlush, a)
+	if t.rt.asyncOn {
+		// Marking the line dirty here, at tracking time, is what keeps the
+		// async cut O(threads): the checkpoint swaps bitmaps instead of
+		// walking every tracked address under the parked world.
+		t.rt.markDirty(a)
+	}
 }
 
-// AddModifiedRange registers every cache line overlapping [a, a+n).
+// AddModifiedRange registers every cache line overlapping [a, a+n). Under
+// AsyncFlush it is only a correct idiom for freshly allocated or append-only
+// data: the collision guard flushes a still-pending line *after* the caller's
+// writes, which preserves the previous cut's words only if they were not
+// overwritten. Plain overwrites of pre-existing words must go through
+// StoreTracked, which guards before the store.
 func (t *Thread) AddModifiedRange(a pmem.Addr, n int) {
 	if n <= 0 {
 		return
 	}
 	first := pmem.LineOf(a)
 	last := pmem.LineOf(a + pmem.Addr(n) - 1)
+	async := t.rt.asyncOn
 	for line := first; line <= last; line++ {
-		t.toFlush = append(t.toFlush, pmem.LineAddr(line))
+		la := pmem.LineAddr(line)
+		if async {
+			t.guardLine(la)
+			t.rt.markDirty(la)
+		}
+		t.toFlush = append(t.toFlush, la)
 	}
 }
 
 // StoreTracked writes a plain persistent word and registers it for flushing.
 // It is the idiom for RAW-only persistent data (no WAR dependency, so no
-// undo log needed — paper §3.3.2 and Fig. 6b line 6).
+// undo log needed — paper §3.3.2 and Fig. 6b line 6). Under AsyncFlush the
+// store first flushes the word's line if an in-flight drain still owes it to
+// NVMM (flush-on-collision), so the previous cut can never lose the line's
+// pre-overwrite image.
 func (t *Thread) StoreTracked(a pmem.Addr, v uint64) {
+	if t.rt.asyncOn {
+		t.guardLine(a)
+	}
 	t.rt.heap.Store64(a, v)
 	t.AddModified(a)
 }
@@ -287,11 +385,11 @@ func (t *Thread) Load(a pmem.Addr) uint64 { return t.rt.heap.Load64(a) }
 func (t *Thread) RP(id uint64) {
 	t.Update(t.rpID, id)
 	if t.rt.timer.Load() {
-		t.rt.flags[t.id].v.Store(true)
+		t.rt.park(t.id)
 		for t.rt.timer.Load() {
 			runtime.Gosched()
 		}
-		t.rt.flags[t.id].v.Store(false)
+		t.rt.unpark(t.id)
 		return
 	}
 	// On few-core hosts a tight RP loop can starve the checkpointer (real
@@ -308,7 +406,23 @@ func (t *Thread) RP(id uint64) {
 // goroutine exit. The thread must not touch persistent state until it calls
 // CheckpointPrevent.
 func (t *Thread) CheckpointAllow() {
-	t.rt.flags[t.id].v.Store(true)
+	t.rt.park(t.id)
+}
+
+// park sets thread i's checkpoint flag, unpark clears it; both keep the
+// parked countdown in sync. They are idempotent — CheckpointAllow may run on
+// an already-allowed thread (e.g. a goroutine-exit hook after a CondWait) —
+// so the flag's Swap result gates the counter update.
+func (rt *Runtime) park(i int) {
+	if !rt.flags[i].v.Swap(true) {
+		rt.parked.Add(1)
+	}
+}
+
+func (rt *Runtime) unpark(i int) {
+	if rt.flags[i].v.Swap(false) {
+		rt.parked.Add(-1)
+	}
 }
 
 // CheckpointPrevent revokes CheckpointAllow after a wait returns (paper
@@ -318,9 +432,9 @@ func (t *Thread) CheckpointAllow() {
 // checkpoint to finish, and re-acquires mu. mu may be nil for blocking
 // calls made outside any critical section.
 func (t *Thread) CheckpointPrevent(mu sync.Locker) {
-	t.rt.flags[t.id].v.Store(false)
+	t.rt.unpark(t.id)
 	if t.rt.timer.Load() {
-		t.rt.flags[t.id].v.Store(true)
+		t.rt.park(t.id)
 		if mu != nil {
 			mu.Unlock()
 		}
@@ -330,7 +444,7 @@ func (t *Thread) CheckpointPrevent(mu sync.Locker) {
 		if mu != nil {
 			mu.Lock()
 		}
-		t.rt.flags[t.id].v.Store(false)
+		t.rt.unpark(t.id)
 	}
 }
 
@@ -348,23 +462,28 @@ func (t *Thread) CondWait(c *sync.Cond, mu sync.Locker) {
 // raise the timer, wait until every worker is parked at an RP (or inside an
 // allow window), flush all tracked modifications, increment and persist the
 // global epoch, apply deferred frees in the new epoch, release the workers.
+//
+// Under AsyncFlush the flush and the durable commit move off the critical
+// path: the checkpoint steals every to-be-flushed list at the cut, releases
+// the workers, and hands the lists to a background drain (async.go). A new
+// checkpoint first joins any in-flight drain — epochs commit in order.
 func (rt *Runtime) Checkpoint() CheckpointInfo {
 	rt.ckptMu.Lock()
+	for {
+		d := rt.drain.Load()
+		if d == nil {
+			break
+		}
+		rt.ckptMu.Unlock()
+		<-d.done
+		rt.ckptMu.Lock()
+	}
 	defer rt.ckptMu.Unlock()
 
 	start := time.Now()
 	rt.timer.Store(true)
-	for {
-		all := true
-		for i := range rt.flags {
-			if !rt.flags[i].v.Load() {
-				all = false
-				break
-			}
-		}
-		if all {
-			break
-		}
+	want := int32(len(rt.threads))
+	for rt.parked.Load() < want {
 		runtime.Gosched()
 	}
 	gateDone := time.Now()
@@ -372,6 +491,10 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 	ending := rt.epochCache.Load()
 	if rt.quiescedHook != nil {
 		rt.quiescedHook(ending)
+	}
+
+	if rt.asyncOn {
+		return rt.cutAsync(ending, start, gateDone)
 	}
 
 	var addrs, lines int
@@ -389,6 +512,7 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 	rt.heap.Store64(rt.heap.EpochAddr(), newEpoch)
 	rt.epochCache.Store(newEpoch)
 	rt.sysFlusher.Persist(rt.heap.EpochAddr())
+	rt.durableEpoch.Store(newEpoch)
 
 	// Deferred frees become visible in the new epoch, so a crash rolls
 	// them back and a block can never be recycled in the epoch it was
@@ -415,12 +539,7 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 	return info
 }
 
-func (rt *Runtime) allThreads() []*Thread {
-	all := make([]*Thread, 0, len(rt.threads)+1)
-	all = append(all, rt.threads...)
-	all = append(all, rt.sys)
-	return all
-}
+func (rt *Runtime) allThreads() []*Thread { return rt.all }
 
 // deadRange is the payload span of a block freed during the ending epoch.
 type deadRange struct{ start, end pmem.Addr }
@@ -523,5 +642,10 @@ func (rt *Runtime) Stats() RuntimeStats {
 		GateWait:    time.Duration(rt.statGateNs.Load()),
 		FlushTime:   time.Duration(rt.statFlushNs.Load()),
 		TotalPause:  time.Duration(rt.statTotalNs.Load()),
+
+		Drains:           rt.statDrains.Load(),
+		CommitLag:        time.Duration(rt.statCommitNs.Load()),
+		CollisionFlushes: rt.statCollFlush.Load(),
+		CollisionsLogged: rt.statCollLogged.Load(),
 	}
 }

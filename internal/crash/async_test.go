@@ -1,0 +1,79 @@
+package crash
+
+import (
+	"testing"
+	"time"
+)
+
+func asyncSoakConfig(seed int64) AsyncSoakConfig {
+	return AsyncSoakConfig{MapSoakConfig: soakConfig(seed)}
+}
+
+// TestAsyncMapSoakCrashInDrainWindow kills the heap at the start of a chosen
+// background drain, with the drain held open long enough for workers to
+// collide with the cut's pending lines. Recovery must land exactly on the
+// previous completed checkpoint and report the interrupted drain.
+func TestAsyncMapSoakCrashInDrainWindow(t *testing.T) {
+	for seed := int64(1); seed <= soakSeeds(6); seed++ {
+		cfg := asyncSoakConfig(seed)
+		cfg.CrashDrain = 2 + uint64(seed%3)
+		cfg.DrainDelay = 2 * cfg.Interval
+		rep, err := AsyncMapSoak(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
+		}
+		if !rep.DrainInterrupted {
+			t.Fatalf("seed %d: targeted mid-drain crash not detected by recovery (report %+v)", seed, rep)
+		}
+		if rep.OpsBeforeCrash == 0 {
+			t.Fatalf("seed %d: crash before any work", seed)
+		}
+	}
+}
+
+// TestAsyncMapSoakCrashPreCommit crashes after the drain's flush completed
+// but before the epoch counter persisted: every cut line is durable, yet the
+// checkpoint never committed, so recovery must still fall back.
+func TestAsyncMapSoakCrashPreCommit(t *testing.T) {
+	for seed := int64(1); seed <= soakSeeds(4); seed++ {
+		cfg := asyncSoakConfig(seed)
+		cfg.CrashDrain = 2
+		cfg.PreCommit = true
+		cfg.DrainDelay = cfg.Interval
+		rep, err := AsyncMapSoak(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
+		}
+		if !rep.DrainInterrupted {
+			t.Fatalf("seed %d: pre-commit crash not detected by recovery (report %+v)", seed, rep)
+		}
+	}
+}
+
+// TestAsyncMapSoakRandomCrash is the plain MapSoak property under async
+// flush: a crash at an arbitrary point — inside or outside drain windows —
+// always recovers to the last durably committed checkpoint's snapshot.
+func TestAsyncMapSoakRandomCrash(t *testing.T) {
+	for seed := int64(1); seed <= soakSeeds(8); seed++ {
+		rep, err := AsyncMapSoak(asyncSoakConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
+		}
+	}
+}
+
+// TestAsyncMapSoakSlowDrains stretches every drain across half a checkpoint
+// interval with no targeted crash: checkpoints queue up behind in-flight
+// drains, collisions become routine, and the random crash often lands inside
+// a window.
+func TestAsyncMapSoakSlowDrains(t *testing.T) {
+	for seed := int64(1); seed <= soakSeeds(4); seed++ {
+		cfg := asyncSoakConfig(seed)
+		cfg.DrainDelay = cfg.Interval / 2
+		cfg.MapSoakConfig.Interval = 6 * time.Millisecond
+		rep, err := AsyncMapSoak(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
+		}
+	}
+}

@@ -5,8 +5,11 @@ import (
 	"time"
 )
 
-func runShardedSoak(t *testing.T, seed int64, sync bool) *ShardedSoakReport {
+func runShardedSoak(t *testing.T, seed int64, sync bool, runFor time.Duration) *ShardedSoakReport {
 	t.Helper()
+	if runFor == 0 {
+		runFor = time.Duration(seed%7+3) * 4 * time.Millisecond
+	}
 	rep, err := ShardedKVSoak(ShardedSoakConfig{
 		Shards:    3,
 		Threads:   2,
@@ -17,7 +20,7 @@ func runShardedSoak(t *testing.T, seed int64, sync bool) *ShardedSoakReport {
 		EvictRate: 16,
 		Seed:      seed,
 		HeapBytes: 16 << 20,
-		RunFor:    time.Duration(seed%7+3) * 4 * time.Millisecond,
+		RunFor:    runFor,
 	})
 	if err != nil {
 		t.Fatalf("seed %d sync=%v: %v (report %+v)", seed, sync, err, rep)
@@ -33,7 +36,7 @@ func runShardedSoak(t *testing.T, seed int64, sync bool) *ShardedSoakReport {
 func TestShardedKVSoakStaggered(t *testing.T) {
 	var sawCertified bool
 	for seed := int64(1); seed <= soakSeeds(3); seed++ {
-		rep := runShardedSoak(t, seed, false)
+		rep := runShardedSoak(t, seed, false, 0)
 		if rep.OpsBeforeCrash == 0 {
 			t.Fatalf("seed %d: no operations ran before the crash", seed)
 		}
@@ -44,6 +47,13 @@ func TestShardedKVSoakStaggered(t *testing.T) {
 			sawCertified = true
 		}
 	}
+	// The short runs above crash 12-40ms in; on a slow host (-race, loaded
+	// single CPU) every one of them can die before its first checkpoint
+	// completes. Certification coverage is the point of this check, not a
+	// property of any particular seed, so retry with longer runs.
+	for seed := int64(101); seed <= 104 && !sawCertified; seed++ {
+		sawCertified = runShardedSoak(t, seed, false, 120*time.Millisecond).CertifiedKeys > 0
+	}
 	if !sawCertified {
 		t.Fatal("no soak run certified any keys — crashes landed before every first checkpoint")
 	}
@@ -53,7 +63,7 @@ func TestShardedKVSoakStaggered(t *testing.T) {
 // lockstep, so all shards fail in the same epoch neighbourhood.
 func TestShardedKVSoakSync(t *testing.T) {
 	for seed := int64(4); seed <= 5; seed++ {
-		rep := runShardedSoak(t, seed, true)
+		rep := runShardedSoak(t, seed, true, 0)
 		if rep.OpsBeforeCrash == 0 {
 			t.Fatalf("seed %d: no operations ran before the crash", seed)
 		}

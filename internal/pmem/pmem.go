@@ -402,12 +402,21 @@ func (h *Heap) EvictLine(line int) bool {
 
 // EvictRandom tries n random lines and evicts the dirty ones, simulating the
 // unknown replacement policy. It returns the number of lines written back.
+// All n samples are drawn under one rngMu acquisition; the write-backs happen
+// after the lock is dropped, so concurrent evictors only contend on the RNG
+// for the duration of the draw.
 func (h *Heap) EvictRandom(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	lines := make([]int, n)
+	h.rngMu.Lock()
+	for i := range lines {
+		lines[i] = h.rng.Intn(h.nLines)
+	}
+	h.rngMu.Unlock()
 	evicted := 0
-	for i := 0; i < n; i++ {
-		h.rngMu.Lock()
-		line := h.rng.Intn(h.nLines)
-		h.rngMu.Unlock()
+	for _, line := range lines {
 		if h.EvictLine(line) {
 			evicted++
 		}

@@ -43,6 +43,12 @@ type Config struct {
 	// point can be up to Shards*Interval old.
 	Sync bool
 
+	// Async enables asynchronous checkpointing (core.Config.AsyncFlush) on
+	// every shard runtime: a checkpoint only parks a shard's workers for
+	// the cut, and the flush plus the durable epoch commit run in the
+	// background. The staleness bound doubles (see core.Config).
+	Async bool
+
 	// Chaos builds chaos-mode heaps (random background eviction hazard)
 	// seeded per shard from Seed; crash soaks use it.
 	Chaos bool
@@ -117,7 +123,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		go func(i int) {
 			defer wg.Done()
 			h := cfg.newHeap(i)
-			rt, err := core.NewRuntime(h, core.Config{Threads: cfg.Workers})
+			rt, err := core.NewRuntime(h, core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async})
 			if err != nil {
 				errs[i] = err
 				return
@@ -167,7 +173,7 @@ func Recover(cfg Config, heaps []*pmem.Heap) (*Pool, *RecoveryReport, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rt, r, err := core.Recover(heaps[i], core.Config{Threads: cfg.Workers}, cfg.RecoveryParallelism)
+			rt, r, err := core.Recover(heaps[i], core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async}, cfg.RecoveryParallelism)
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
 				return
@@ -295,13 +301,23 @@ func (p *Pool) CheckpointAll() {
 	p.ckptRound.Add(1)
 }
 
-// Close stops the checkpoint driver and waits for any in-flight checkpoint.
+// Close stops the checkpoint driver and waits for any in-flight checkpoint —
+// including, in async mode, any background drain still committing its epoch.
 // Shard state stays readable afterwards.
 func (p *Pool) Close() {
 	if p.stopped.CompareAndSwap(false, true) {
 		close(p.stop)
 	}
 	p.wg.Wait()
+	p.WaitDrains()
+}
+
+// WaitDrains blocks until every shard's in-flight background drain (async
+// mode) has fully committed. A no-op for sync pools.
+func (p *Pool) WaitDrains() {
+	for _, sh := range p.shards {
+		sh.RT.WaitDrain()
+	}
 }
 
 // ResetMaxPause clears the recorded longest pause. Benchmarks call it after
@@ -318,6 +334,12 @@ type PoolStats struct {
 	FlushTime   time.Duration
 	TotalPause  time.Duration
 	MaxPause    time.Duration // longest single-shard pause seen by the driver
+
+	// Async-mode aggregates (zero for sync pools).
+	Drains           uint64
+	CommitLag        time.Duration
+	CollisionFlushes uint64
+	CollisionsLogged uint64
 }
 
 // Stats merges every shard runtime's counters.
@@ -331,6 +353,10 @@ func (p *Pool) Stats() PoolStats {
 		out.GateWait += s.GateWait
 		out.FlushTime += s.FlushTime
 		out.TotalPause += s.TotalPause
+		out.Drains += s.Drains
+		out.CommitLag += s.CommitLag
+		out.CollisionFlushes += s.CollisionFlushes
+		out.CollisionsLogged += s.CollisionsLogged
 	}
 	return out
 }

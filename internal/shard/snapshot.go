@@ -25,6 +25,9 @@ func ShardFile(base string, i int) string {
 // shards keep their previous images.
 func (p *Pool) SnapshotFiles(base string) error {
 	p.CheckpointAll()
+	// Async pools: the persistent images are only complete once the
+	// background drains have committed their epochs.
+	p.WaitDrains()
 	var wg sync.WaitGroup
 	errs := make([]error, len(p.shards))
 	for i, sh := range p.shards {

@@ -70,6 +70,10 @@ func NewEvictor(h *Heap, rate int, seed int64) *Evictor { return pmem.NewEvictor
 type Runtime = core.Runtime
 
 // Config parameterises a Runtime (worker count and algorithm switches).
+// Setting AsyncFlush pipelines checkpoints: workers pause only for the cut,
+// the flush and the durable epoch commit run in a background drain
+// (Runtime.WaitDrain joins it), and the recovery staleness bound grows to
+// two checkpoint intervals.
 type Config = core.Config
 
 // Thread is a worker's handle: restart points, InCLL updates, tracking.
