@@ -13,7 +13,7 @@
 //
 //	kvserver [-addr :11222] [-workers 4] [-shards 1] [-sync] [-async]
 //	         [-buckets 1048576] [-interval 64ms] [-heap 2147483648]
-//	         [-snapshot kv.img] [-transient]
+//	         [-snapshot kv.img] [-metrics :9090] [-transient]
 //
 // -async switches every shard runtime to asynchronous checkpointing: workers
 // pause only for the cut, the flush and the durable epoch commit run in the
@@ -21,11 +21,23 @@
 //
 // -buckets and -heap are totals for the whole store; each shard gets a 1/N
 // slice.
+//
+// -metrics serves the telemetry registry over HTTP: Prometheus text on
+// /metrics, a JSON snapshot on /metrics.json, and the pprof handlers under
+// /debug/pprof/. Without the flag no registry exists and no instrumentation
+// runs. On shutdown the order is: stop the KV listener (drain in-flight
+// requests), stop the metrics server (a scrape in progress completes), dump
+// a final JSON snapshot to stderr, and only then close the pool — so the
+// last scrape and the final snapshot both see the fully drained counters
+// while the runtimes are still alive.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +46,7 @@ import (
 	"github.com/respct/respct/internal/kv"
 	"github.com/respct/respct/internal/pmem"
 	"github.com/respct/respct/internal/shard"
+	"github.com/respct/respct/internal/telemetry"
 )
 
 func main() {
@@ -46,19 +59,33 @@ func main() {
 	interval := flag.Duration("interval", 64*time.Millisecond, "checkpoint period")
 	heapBytes := flag.Int64("heap", 2<<30, "simulated NVMM size in bytes (total across shards)")
 	snapshot := flag.String("snapshot", "", "snapshot base path: recovered at start if all shard images are present, written on shutdown")
+	metricsAddr := flag.String("metrics", "", "serve telemetry on this address (/metrics, /metrics.json, /debug/pprof/); empty disables instrumentation")
 	transient := flag.Bool("transient", false, "run the non-fault-tolerant store instead")
 	flag.Parse()
 
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	newServer := func(store kv.Store) (*kv.Server, error) {
+		if reg != nil {
+			return kv.NewServerWithMetrics(store, *workers, *addr, reg)
+		}
+		return kv.NewServer(store, *workers, *addr)
+	}
+
 	if *transient {
 		h := pmem.New(pmem.NVMMConfig(*heapBytes))
-		srv, err := kv.NewServer(kv.NewTransientStore(h), *workers, *addr)
+		srv, err := newServer(kv.NewTransientStore(h))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "listen:", err)
 			os.Exit(1)
 		}
+		msrv := serveMetrics(reg, *metricsAddr)
 		fmt.Println("transient kvserver listening on", srv.Addr())
 		waitForSignal()
 		srv.Close()
+		stopMetrics(msrv, reg)
 		return
 	}
 
@@ -74,6 +101,7 @@ func main() {
 		Interval:  *interval,
 		Sync:      *sync,
 		Async:     *async,
+		Metrics:   reg,
 	}
 
 	if *snapshot != "" {
@@ -98,6 +126,7 @@ func main() {
 		fmt.Printf("recovered %d shard(s) from %s: failed epochs %v, %d cells scanned, %d rolled back, %v\n",
 			*shards, *snapshot, rep.FailedEpochs(), rep.CellsScanned, rep.CellsRolledBack,
 			rep.Duration.Round(time.Millisecond))
+		printFlightEvents(rep)
 	} else {
 		p, err := shard.NewPool(cfg)
 		if err != nil {
@@ -108,11 +137,12 @@ func main() {
 	}
 
 	pool.Start()
-	srv, err := kv.NewServer(pool.Store(), *workers, *addr)
+	srv, err := newServer(pool.Store())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
+	msrv := serveMetrics(reg, *metricsAddr)
 	schedule := "staggered"
 	if *sync {
 		schedule = "synchronized"
@@ -125,7 +155,12 @@ func main() {
 
 	waitForSignal()
 	fmt.Println("shutting down...")
+	// Ordering matters: the KV listener drains first so no new operations
+	// mutate the counters, then the metrics server stops (completing any
+	// in-flight scrape against live runtimes), then the final snapshot is
+	// flushed — all before Pool.Close waits out the last drains.
 	srv.Close()
+	stopMetrics(msrv, reg)
 	pool.Close()
 	if *snapshot != "" {
 		// SnapshotFiles runs one final coordinated checkpoint and writes each
@@ -137,6 +172,55 @@ func main() {
 		}
 		fmt.Printf("%d shard image(s) written under %s\n", *shards, *snapshot)
 	}
+}
+
+// printFlightEvents shows each recovered shard's flight-recorder tail: the
+// runtime's final checkpoints, cuts and drain commits before the crash.
+func printFlightEvents(rep *shard.RecoveryReport) {
+	const tail = 5
+	for i, r := range rep.PerShard {
+		evs := r.FlightEvents
+		if len(evs) == 0 {
+			continue
+		}
+		lo := max(len(evs)-tail, 0)
+		fmt.Printf("shard %d flight recorder (%d events, showing %d):\n", i, len(evs), len(evs)-lo)
+		for _, e := range evs[lo:] {
+			fmt.Println("  " + e.String())
+		}
+	}
+}
+
+// serveMetrics starts the telemetry HTTP server, or returns nil when the
+// registry is disabled. Bind errors are fatal — a silently dead metrics
+// endpoint is worse than no server.
+func serveMetrics(reg *telemetry.Registry, addr string) *http.Server {
+	if reg == nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics listen:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: telemetry.Handler(reg)}
+	go srv.Serve(ln)
+	fmt.Println("metrics on http://" + ln.Addr().String() + "/metrics")
+	return srv
+}
+
+// stopMetrics shuts the metrics server down gracefully and writes a final
+// JSON snapshot to stderr, so the run's closing counters survive in logs
+// even when nothing was scraping.
+func stopMetrics(srv *http.Server, reg *telemetry.Registry) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	fmt.Fprintln(os.Stderr, "final telemetry snapshot:")
+	reg.WriteJSON(os.Stderr)
 }
 
 func waitForSignal() {

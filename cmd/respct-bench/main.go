@@ -12,6 +12,10 @@
 //	-threads list        comma-separated thread counts (e.g. 1,4,16,64)
 //	-interval d          checkpoint period (default 64ms at paper scale)
 //	-csv dir             also write raw fig8/fig9 results as CSV into dir
+//	-json dir            also write figpause/figshards results as JSON into dir
+//	                     (BENCH_figpause.json, BENCH_figshards.json); the runs
+//	                     are instrumented and every row carries its closing
+//	                     telemetry snapshot
 //	-v                   progress logging to stderr
 package main
 
@@ -34,6 +38,7 @@ func main() {
 	intervalFlag := flag.Duration("interval", 0, "checkpoint period (0 = scale default)")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	csvDir := flag.String("csv", "", "directory to also write raw fig8/fig9 results as CSV")
+	jsonDir := flag.String("json", "", "directory to also write figpause/figshards results as JSON (with telemetry snapshots)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -93,6 +98,17 @@ func main() {
 				fmt.Fprintln(os.Stderr, "csv:", err)
 			}
 		}
+		writeJSON := func(base string, rep bench.Report) {
+			f, err := os.Create(filepath.Join(*jsonDir, base))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "json:", err)
+				return
+			}
+			defer f.Close()
+			if err := bench.WriteReport(f, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "json:", err)
+			}
+		}
 		switch name {
 		case "fig8":
 			out, results := bench.Fig8R(s, nil, log)
@@ -113,9 +129,21 @@ func main() {
 		case "fig14":
 			fmt.Print(bench.Fig14(ks, log))
 		case "figshards":
-			fmt.Print(bench.FigShards(ks, nil, log))
+			if *jsonDir != "" {
+				out, results := bench.FigShardsReport(ks, nil, log)
+				fmt.Print(out)
+				writeJSON("BENCH_figshards.json", bench.NewReport("figshards", *scaleFlag, ks, results))
+			} else {
+				fmt.Print(bench.FigShards(ks, nil, log))
+			}
 		case "figpause":
-			fmt.Print(bench.FigPause(ks, nil, log))
+			if *jsonDir != "" {
+				out, results := bench.FigPauseReport(ks, nil, log)
+				fmt.Print(out)
+				writeJSON("BENCH_figpause.json", bench.NewReport("figpause", *scaleFlag, ks, results))
+			} else {
+				fmt.Print(bench.FigPause(ks, nil, log))
+			}
 		case "rpstudy":
 			fmt.Print(bench.RPPlacementStudy(as, log))
 		case "table3":

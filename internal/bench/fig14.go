@@ -12,14 +12,14 @@ import (
 
 // KVScale sizes the Fig. 14 Memcached/YCSB experiment.
 type KVScale struct {
-	Records    int
-	Operations int
-	ValueSize  int
-	Clients    int
-	Workers    int
-	Buckets    int
-	Interval   time.Duration
-	HeapBytes  int64
+	Records    int           `json:"records"`
+	Operations int           `json:"operations"`
+	ValueSize  int           `json:"value_size"`
+	Clients    int           `json:"clients"`
+	Workers    int           `json:"workers"`
+	Buckets    int           `json:"buckets"`
+	Interval   time.Duration `json:"interval_ns"`
+	HeapBytes  int64         `json:"heap_bytes"`
 }
 
 // PaperKVScale is the paper's configuration: 1 M keys, 1 M ops, 100-byte

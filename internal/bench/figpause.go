@@ -7,22 +7,29 @@ import (
 	"time"
 
 	"github.com/respct/respct/internal/shard"
+	"github.com/respct/respct/internal/telemetry"
 	"github.com/respct/respct/internal/ycsb"
 )
 
-// PauseResult is one row of the figPause sweep.
+// PauseResult is one row of the figPause sweep. Duration fields marshal as
+// nanoseconds in the JSON report.
 type PauseResult struct {
-	Async       bool
-	Interval    time.Duration
-	KopsPerSec  float64
-	P50, P99    time.Duration
-	Checkpoints uint64
-	MeanPause   time.Duration // mean worker-visible checkpoint pause
-	MaxPause    time.Duration // worst single pause
-	CommitLag   time.Duration // mean cut-to-durable-commit lag (async only)
-	CollFlush   uint64        // worker flush-on-collision events (async only)
-	CollLogged  uint64        // collision undo-log appends (async only)
-	LinesWrote  uint64
+	Async       bool          `json:"async"`
+	Interval    time.Duration `json:"interval_ns"`
+	KopsPerSec  float64       `json:"kops_per_sec"`
+	P50         time.Duration `json:"p50_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	Checkpoints uint64        `json:"checkpoints"`
+	MeanPause   time.Duration `json:"mean_pause_ns"` // mean worker-visible checkpoint pause
+	MaxPause    time.Duration `json:"max_pause_ns"`  // worst single pause
+	CommitLag   time.Duration `json:"commit_lag_ns"` // mean cut-to-durable-commit lag (async only)
+	CollFlush   uint64        `json:"collision_flushes"`
+	CollLogged  uint64        `json:"collisions_logged"`
+	LinesWrote  uint64        `json:"lines_wrote"`
+
+	// Telemetry is the row's closing registry snapshot; populated only by
+	// FigPauseReport, nil on the uninstrumented path.
+	Telemetry []telemetry.JSONMetric `json:"telemetry,omitempty"`
 }
 
 // FigPause compares synchronous and pipelined (async-flush) checkpoints on
@@ -41,6 +48,18 @@ func FigPause(s KVScale, intervals []time.Duration, log func(string)) string {
 
 // FigPauseR is FigPause returning the raw per-row results as well.
 func FigPauseR(s KVScale, intervals []time.Duration, log func(string)) (string, []PauseResult) {
+	return figPauseRows(s, intervals, log, false)
+}
+
+// FigPauseReport is FigPauseR with a fresh telemetry registry wired into
+// every row's runtime; each row carries its closing snapshot, so the JSON
+// artifact records the internal counters (gate/pause histograms, drain
+// durations, collision-log high-water marks) behind the summary numbers.
+func FigPauseReport(s KVScale, intervals []time.Duration, log func(string)) (string, []PauseResult) {
+	return figPauseRows(s, intervals, log, true)
+}
+
+func figPauseRows(s KVScale, intervals []time.Duration, log func(string), instrument bool) (string, []PauseResult) {
 	if intervals == nil {
 		intervals = []time.Duration{s.Interval / 4, s.Interval, 4 * s.Interval}
 	}
@@ -56,7 +75,14 @@ func FigPauseR(s KVScale, intervals []time.Duration, log func(string)) (string, 
 			if log != nil {
 				log(fmt.Sprintf("figpause interval=%v async=%v", iv, async))
 			}
-			pair[i] = runPauseRow(s, iv, async)
+			var reg *telemetry.Registry
+			if instrument {
+				// One registry per row: series names repeat across rows, and
+				// sharing a registry would leave pull series bound to dead
+				// runtimes from earlier rows.
+				reg = telemetry.NewRegistry()
+			}
+			pair[i] = runPauseRow(s, iv, async, reg)
 			results = append(results, pair[i])
 			out.WriteString(formatPauseRow(pair[i]))
 			runtime.GC()
@@ -73,7 +99,7 @@ func FigPauseR(s KVScale, intervals []time.Duration, log func(string)) (string, 
 	return out.String(), results
 }
 
-func runPauseRow(s KVScale, interval time.Duration, async bool) PauseResult {
+func runPauseRow(s KVScale, interval time.Duration, async bool, reg *telemetry.Registry) PauseResult {
 	w := ycsb.Workload{
 		Name: "balanced (50R/50W)", Records: s.Records, Operations: s.Operations,
 		ReadProp: 0.5, ValueSize: s.ValueSize, Zipfian: true,
@@ -82,6 +108,7 @@ func runPauseRow(s KVScale, interval time.Duration, async bool) PauseResult {
 	cfg := shardKVConfig(s, 1, false)
 	cfg.Interval = interval
 	cfg.Async = async
+	cfg.Metrics = reg
 	p, err := shard.NewPool(cfg)
 	if err != nil {
 		panic(err)
@@ -120,6 +147,11 @@ func runPauseRow(s KVScale, interval time.Duration, async bool) PauseResult {
 	}
 	if d := st.Drains - base.Drains; d > 0 {
 		r.CommitLag = (st.CommitLag - base.CommitLag) / time.Duration(d)
+	}
+	if reg != nil {
+		// The pool is closed but its runtimes are still readable: pull
+		// series scrape the final, fully drained counters.
+		r.Telemetry = reg.SnapshotJSON()
 	}
 	return r
 }

@@ -7,21 +7,28 @@ import (
 	"time"
 
 	"github.com/respct/respct/internal/shard"
+	"github.com/respct/respct/internal/telemetry"
 	"github.com/respct/respct/internal/ycsb"
 )
 
-// ShardResult is one row of the figShards sweep.
+// ShardResult is one row of the figShards sweep. Duration fields marshal as
+// nanoseconds in the JSON report.
 type ShardResult struct {
-	Shards      int
-	KopsPerSec  float64
-	P50, P99    time.Duration
-	Checkpoints uint64
-	LinesWrote  uint64
-	GateWait    time.Duration
-	FlushTime   time.Duration
-	MaxPause    time.Duration
-	TotalPause  time.Duration
-	Staleness   time.Duration // worst-case age of a shard's recovery point
+	Shards      int           `json:"shards"`
+	KopsPerSec  float64       `json:"kops_per_sec"`
+	P50         time.Duration `json:"p50_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	Checkpoints uint64        `json:"checkpoints"`
+	LinesWrote  uint64        `json:"lines_wrote"`
+	GateWait    time.Duration `json:"gate_wait_ns"`
+	FlushTime   time.Duration `json:"flush_time_ns"`
+	MaxPause    time.Duration `json:"max_pause_ns"`
+	TotalPause  time.Duration `json:"total_pause_ns"`
+	Staleness   time.Duration `json:"staleness_ns"` // worst-case age of a shard's recovery point
+
+	// Telemetry is the row's closing registry snapshot; populated only by
+	// FigShardsReport, nil on the uninstrumented path.
+	Telemetry []telemetry.JSONMetric `json:"telemetry,omitempty"`
 }
 
 // storeExecutor drives a sharded store in-process: client index == store
@@ -60,6 +67,18 @@ func FigShards(s KVScale, shardCounts []int, log func(string)) string {
 
 // FigShardsR is FigShards returning the raw per-row results as well.
 func FigShardsR(s KVScale, shardCounts []int, log func(string)) (string, []ShardResult) {
+	return figShardsRows(s, shardCounts, log, false)
+}
+
+// FigShardsReport is FigShardsR with a fresh telemetry registry wired into
+// every row's pool; each row carries its closing snapshot, with the per-shard
+// series ("shard" label) showing how evenly the router spread the load and
+// how the staggered cadence divided the flush work.
+func FigShardsReport(s KVScale, shardCounts []int, log func(string)) (string, []ShardResult) {
+	return figShardsRows(s, shardCounts, log, true)
+}
+
+func figShardsRows(s KVScale, shardCounts []int, log func(string), instrument bool) (string, []ShardResult) {
 	if shardCounts == nil {
 		shardCounts = []int{1, 2, 4, 8}
 	}
@@ -85,7 +104,14 @@ func FigShardsR(s KVScale, shardCounts []int, log func(string)) (string, []Shard
 			ReadProp: 0.5, ValueSize: s.ValueSize, Zipfian: true,
 			Clients: s.Workers, Seed: 42,
 		}
-		p, err := shard.NewPool(shardKVConfig(s, n, false))
+		cfg := shardKVConfig(s, n, false)
+		var reg *telemetry.Registry
+		if instrument {
+			// One registry per row — see figPauseRows.
+			reg = telemetry.NewRegistry()
+			cfg.Metrics = reg
+		}
+		p, err := shard.NewPool(cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -117,6 +143,9 @@ func FigShardsR(s KVScale, shardCounts []int, log func(string)) (string, []Shard
 			MaxPause:    st.MaxPause,
 			TotalPause:  st.TotalPause - base.TotalPause,
 			Staleness:   time.Duration(n) * s.Interval,
+		}
+		if reg != nil {
+			r.Telemetry = reg.SnapshotJSON()
 		}
 		results = append(results, r)
 		out.WriteString(fmt.Sprintf("%-8d %10.1f %10v %10v %12d %12d %10v %10v %12v %12v %12v\n",

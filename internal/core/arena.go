@@ -38,7 +38,7 @@ const (
 	headerSize  = pmem.LineSize
 	blockMagic  = 0x526c6f636b3231 // "Rlock21"
 	formatMagic = 0x5265735043542e // "ResPCT."
-	formatVer   = 2                // v2 added the collision log lines
+	formatVer   = 3                // v2 added the collision log, v3 the flight ring
 
 	hdrNextOff   = 0  // header InCLL cell: free-list next
 	hdrLayoutOff = 24 // header InCLL cell: packed layout
@@ -60,7 +60,14 @@ const (
 	collLogEntLine0 = collLogHdrLine + 1
 	collLogEntLines = collLogEntries * 16 / pmem.LineSize
 
-	metaLines = collLogEntLine0 + collLogEntLines
+	// Flight recorder (internal/telemetry): a cursor line followed by one
+	// line per event. The ring survives crashes and recovery reports its
+	// tail, so post-mortems can see the runtime's final checkpoints.
+	flightHdrLine   = collLogEntLine0 + collLogEntLines
+	flightEntries   = 128
+	flightRingLines = 1 + flightEntries
+
+	metaLines = flightHdrLine + flightRingLines
 )
 
 func classSize(class int) int { return headerSize << class }
@@ -171,6 +178,12 @@ func (a *Arena) collEntryAddr(i int) pmem.Addr {
 	return a.metaBase + pmem.Addr(collLogEntLine0*pmem.LineSize+i*16)
 }
 
+// flightHdrAddr returns the flight recorder's header line; the entry lines
+// follow it.
+func (a *Arena) flightHdrAddr() pmem.Addr {
+	return a.metaBase + pmem.Addr(flightHdrLine*pmem.LineSize)
+}
+
 func (a *Arena) persistFormatMarker(f *pmem.Flusher) {
 	f.Persist(a.markerAddr())
 }
@@ -224,6 +237,7 @@ func (a *Arena) Alloc(t *Thread, cells, rawWords int) pmem.Addr {
 	if mag := &t.magazines[class]; t.magStart[class] < len(*mag) {
 		e := (*mag)[t.magStart[class]]
 		if e.epoch < t.rt.durableEpoch.Load() {
+			t.magRecycled.Add(1)
 			t.magStart[class]++
 			if t.magStart[class] == len(*mag) {
 				*mag = (*mag)[:0]
@@ -298,6 +312,7 @@ func (a *Arena) Free(t *Thread, payload pmem.Addr) {
 	*mag = append(*mag, magazineEntry{block: block, epoch: t.rt.epochCache.Load()})
 	if len(*mag)-t.magStart[class] > magazineCap {
 		spill := (*mag)[t.magStart[class] : t.magStart[class]+magazineCap/2]
+		t.magSpilled.Add(uint64(len(spill)))
 		for _, e := range spill {
 			t.pendingFree = append(t.pendingFree, e.block)
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/telemetry"
 )
 
 // Asynchronous checkpointing (Config.AsyncFlush).
@@ -68,12 +69,12 @@ const collLogEntries = 512
 // machinery to write them back and commit the epoch.
 type drainJob struct {
 	rt     *Runtime
-	ending uint64         // the epoch this drain makes durable
-	lists  [][]pmem.Addr  // stolen to-be-flushed lists
-	frees  []pmem.Addr    // stolen deferred frees, applied after the commit
-	dead   []deadRange    // payload spans elided from the flush
-	addrs  int            // total stolen addresses (stat)
-	cut    time.Time      // when the workers were released
+	ending uint64        // the epoch this drain makes durable
+	lists  [][]pmem.Addr // stolen to-be-flushed lists
+	frees  []pmem.Addr   // stolen deferred frees, applied after the commit
+	dead   []deadRange   // payload spans elided from the flush
+	addrs  int           // total stolen addresses (stat)
+	cut    time.Time     // when the workers were released
 
 	committed chan struct{} // closed once the epoch counter is durable
 	done      chan struct{} // closed once the deferred frees are applied too
@@ -137,6 +138,14 @@ func (rt *Runtime) cutAsync(ending uint64, start, gateDone time.Time) Checkpoint
 	rt.statAddrs.Add(uint64(job.addrs))
 	rt.statGateNs.Add(int64(info.GateWait))
 	rt.statTotalNs.Add(int64(info.Total))
+	rt.lastCkptEnd = job.cut
+	if rt.met.pauseNs != nil {
+		rt.met.pauseNs.ObserveDuration(0, info.Total)
+		rt.met.gateNs.ObserveDuration(0, info.GateWait)
+	}
+	if rt.flight != nil {
+		rt.flight.Record(telemetry.FlightCut, ending, uint64(info.Total), uint64(job.addrs))
+	}
 	return info
 }
 
@@ -192,6 +201,13 @@ func (j *drainJob) run() {
 	rt.statFlushNs.Add(int64(lag))
 	rt.statCommitNs.Add(int64(lag))
 	rt.statDrains.Add(1)
+	if rt.met.drainNs != nil {
+		rt.met.drainNs.ObserveDuration(0, lag)
+		rt.met.lines.Observe(0, uint64(lines))
+	}
+	if rt.flight != nil {
+		rt.flight.Record(telemetry.FlightDrainCommit, j.ending, uint64(lag), uint64(lines))
+	}
 	close(j.committed)
 
 	// Zero the drained bitmap so the next cut can swap it back in clean
@@ -332,6 +348,10 @@ func (rt *Runtime) logCollision(a pmem.Addr, val uint64) {
 			h.Store64(hdr+8, uint64(rt.collCount+1))
 			rt.collFlusher.Persist(hdr)
 			rt.collCount++
+			if c := uint64(rt.collCount); c > rt.statCollPeak.Load() {
+				// Plain store is enough: collMu serialises all writers.
+				rt.statCollPeak.Store(c)
+			}
 			rt.collMu.Unlock()
 			rt.statCollLogged.Add(1)
 			return

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/telemetry"
 )
 
 // RecoveryReport describes what a recovery pass did.
@@ -22,6 +23,11 @@ type RecoveryReport struct {
 	// CollisionsApplied entries from the collision log.
 	DrainInterrupted  bool
 	CollisionsApplied int
+
+	// FlightEvents is the tail of the persistent flight recorder as it
+	// survived the crash, oldest first — the runtime's final checkpoints,
+	// cuts and drain commits, for post-mortems.
+	FlightEvents []telemetry.FlightEvent
 }
 
 // Recover reconstructs a consistent runtime from a crashed heap (paper
@@ -74,6 +80,7 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 	drained := h.Load64(arena.collHdrAddr()) == failedEpoch
 
 	rep := &RecoveryReport{FailedEpoch: failedEpoch, DrainInterrupted: drained}
+	rt.flight, rep.FlightEvents = telemetry.OpenFlightRecorder(h, arena.flightHdrAddr(), flightEntries)
 	f := rt.sysFlusher
 
 	// Every cell tagged with the failed epoch is rolled back, flushed, and
@@ -235,5 +242,10 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 	rt.finishInit()
 
 	rep.Duration = time.Since(start)
+	var drainedAux uint64
+	if drained {
+		drainedAux = 1
+	}
+	rt.flight.Record(telemetry.FlightRecovery, failedEpoch, uint64(rep.CellsRolledBack), drainedAux)
 	return rt, rep, nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/telemetry"
 )
 
 // MaxThreads is the maximum number of worker threads a Runtime supports.
@@ -47,6 +48,18 @@ type Config struct {
 	// It changes nothing semantically — SFence coalesces duplicates —
 	// but shows the cost of naive tracking.
 	DisableTracking bool
+
+	// Metrics, when non-nil, receives the runtime's telemetry: checkpoint
+	// pause/gate/epoch-length/lines/drain histograms plus pull-style series
+	// over the stat counters the runtime maintains anyway. Nil costs
+	// nothing — checkpoint-cadence observations are skipped entirely and no
+	// hot path is touched either way.
+	Metrics *telemetry.Registry
+
+	// MetricsLabels is attached to every series this runtime registers.
+	// Multi-runtime processes (a shard pool) use it to keep per-shard
+	// series apart in a shared registry.
+	MetricsLabels telemetry.Labels
 }
 
 type flagSlot struct {
@@ -81,6 +94,11 @@ type RuntimeStats struct {
 	CommitLag        time.Duration // total cut-to-durable-commit lag across drains
 	CollisionFlushes uint64        // pending lines flushed by workers (flush-on-collision)
 	CollisionsLogged uint64        // InCLL cells undo-logged to the collision log
+	CollisionLogPeak uint64        // high-water mark of the collision log occupancy
+
+	// Allocator magazine activity.
+	MagazineRecycled uint64 // blocks recycled from per-thread magazines
+	MagazineSpilled  uint64 // magazine overflow entries spilled to deferred frees
 }
 
 // Runtime is the ResPCT runtime for one persistent heap: the global epoch,
@@ -112,19 +130,19 @@ type Runtime struct {
 	sysFlusher *pmem.Flusher // guarded by ckptMu
 
 	// Asynchronous checkpointing state (Config.AsyncFlush; see async.go).
-	asyncOn       bool                       // AsyncFlush && !SkipFlush, frozen at construction
-	durableEpoch  atomic.Uint64              // epoch counter as persisted in NVMM (≤ epochCache)
-	drainLive     atomic.Bool                // a drain is between its cut and its durable commit
-	drainEpochN   atomic.Uint64              // the epoch the live drain is persisting
-	drain         atomic.Pointer[drainJob]   // in-flight drain, nil when none
-	pendingBits   [2][]atomic.Uint64         // 1 bit per heap line; double-buffered dirty/pending maps
-	activeBits    atomic.Uint32              // index tracking writes mark; 1-activeBits is being drained
-	drainFlushers []*pmem.Flusher            // cached by the drain across epochs
-	commitFlusher *pmem.Flusher              // drain-side flusher for the epoch commit
-	collMu        sync.Mutex                 // serialises collision-log appends
-	collCount     int                        // volatile mirror of the log count; guarded by collMu
-	collFlusher   *pmem.Flusher              // guarded by collMu
-	drainHook     func(uint64, bool)         // test hook: (ending, preCommit)
+	asyncOn       bool                     // AsyncFlush && !SkipFlush, frozen at construction
+	durableEpoch  atomic.Uint64            // epoch counter as persisted in NVMM (≤ epochCache)
+	drainLive     atomic.Bool              // a drain is between its cut and its durable commit
+	drainEpochN   atomic.Uint64            // the epoch the live drain is persisting
+	drain         atomic.Pointer[drainJob] // in-flight drain, nil when none
+	pendingBits   [2][]atomic.Uint64       // 1 bit per heap line; double-buffered dirty/pending maps
+	activeBits    atomic.Uint32            // index tracking writes mark; 1-activeBits is being drained
+	drainFlushers []*pmem.Flusher          // cached by the drain across epochs
+	commitFlusher *pmem.Flusher            // drain-side flusher for the epoch commit
+	collMu        sync.Mutex               // serialises collision-log appends
+	collCount     int                      // volatile mirror of the log count; guarded by collMu
+	collFlusher   *pmem.Flusher            // guarded by collMu
+	drainHook     func(uint64, bool)       // test hook: (ending, preCommit)
 
 	// quiescedHook, when set, runs while all threads are parked, before
 	// flush_modified. Crash tests use it to certify logical snapshots.
@@ -140,6 +158,23 @@ type Runtime struct {
 	statCommitNs   atomic.Int64
 	statCollFlush  atomic.Uint64
 	statCollLogged atomic.Uint64
+	statCollPeak   atomic.Uint64 // collision-log occupancy high-water mark
+
+	// flight is the persistent event ring carved from the arena metadata;
+	// non-nil once NewRuntime/Recover complete. Record calls happen at
+	// checkpoint cadence only.
+	flight *telemetry.FlightRecorder
+
+	// met holds the optional checkpoint-cadence histograms (Config.Metrics);
+	// all fields nil when no registry was supplied.
+	met struct {
+		pauseNs *telemetry.Histogram // worker-visible checkpoint pause
+		gateNs  *telemetry.Histogram // gate wait within the pause
+		epochNs *telemetry.Histogram // epoch length (checkpoint-to-checkpoint)
+		lines   *telemetry.Histogram // cache lines written back per flush
+		drainNs *telemetry.Histogram // async cut-to-durable-commit lag
+	}
+	lastCkptEnd time.Time // previous checkpoint's release time; guarded by ckptMu
 }
 
 // Thread is a worker's handle on the runtime. Each handle must be used by a
@@ -162,6 +197,12 @@ type Thread struct {
 	// checkpoints (the flusher pool) — reusing it keeps its pending buffer
 	// warm across epochs.
 	flusher *pmem.Flusher
+
+	// Magazine activity counters. Atomics only because Stats may read them
+	// concurrently; each is written by its owning goroutine alone, so the
+	// adds never contend.
+	magRecycled atomic.Uint64
+	magSpilled  atomic.Uint64
 }
 
 // magazineEntry records a freed block and the epoch that freed it: the
@@ -191,6 +232,9 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt.arena = arena
+	// The flight ring is formatted (cursor zeroed and persisted) before the
+	// format marker goes down, so a marker in NVMM implies a valid ring.
+	rt.flight = telemetry.NewFlightRecorder(h, arena.flightHdrAddr(), flightEntries)
 
 	rt.flags = make([]flagSlot, cfg.Threads)
 	rt.threads = make([]*Thread, cfg.Threads)
@@ -222,6 +266,7 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 	rt.durableEpoch.Store(2)
 	rt.sysFlusher.Persist(h.EpochAddr())
 	arena.persistFormatMarker(rt.sysFlusher)
+	rt.flight.Record(telemetry.FlightFormat, 2, uint64(cfg.Threads), 0)
 	return rt, nil
 }
 
@@ -249,7 +294,59 @@ func (rt *Runtime) finishInit() {
 			}
 		}
 	}
+	if reg := rt.cfg.Metrics; reg != nil {
+		lb := rt.cfg.MetricsLabels
+		rt.met.pauseNs = reg.Histogram("respct_checkpoint_pause_ns", "worker-visible checkpoint pause", lb)
+		rt.met.gateNs = reg.Histogram("respct_checkpoint_gate_ns", "time waiting for workers to reach restart points", lb)
+		rt.met.epochNs = reg.Histogram("respct_epoch_length_ns", "time between consecutive checkpoints", lb)
+		rt.met.lines = reg.Histogram("respct_checkpoint_lines", "cache lines written back per checkpoint flush", lb)
+		rt.met.drainNs = reg.Histogram("respct_drain_ns", "async cut-to-durable-commit lag", lb)
+		rt.registerFuncs(reg)
+	}
 }
+
+// registerFuncs exposes counters the runtime maintains anyway as pull-style
+// series. Registration is idempotent and rebinding (latest fn wins), so a
+// registry outliving a crash-recover cycle ends up scraping the live runtime.
+func (rt *Runtime) registerFuncs(reg *telemetry.Registry) {
+	lb := rt.cfg.MetricsLabels
+	reg.CounterFunc("respct_checkpoints_total", "checkpoints completed", lb, rt.nCheckpoints.Load)
+	reg.CounterFunc("respct_flushed_lines_total", "cache lines written back by checkpoint flushes", lb, rt.statLines.Load)
+	reg.CounterFunc("respct_tracked_addrs_total", "tracked addresses drained by checkpoints", lb, rt.statAddrs.Load)
+	reg.CounterFunc("respct_drains_total", "background drains committed", lb, rt.statDrains.Load)
+	reg.CounterFunc("respct_collision_flushes_total", "pending lines flushed by workers on collision", lb, rt.statCollFlush.Load)
+	reg.CounterFunc("respct_collisions_logged_total", "InCLL cells saved to the collision log", lb, rt.statCollLogged.Load)
+	reg.GaugeFunc("respct_collision_log_peak", "collision-log occupancy high-water mark", lb,
+		func() float64 { return float64(rt.statCollPeak.Load()) })
+	reg.CounterFunc("respct_magazine_recycled_total", "blocks recycled from per-thread magazines", lb,
+		func() uint64 { return rt.Stats().MagazineRecycled })
+	reg.CounterFunc("respct_magazine_spilled_total", "magazine entries spilled to deferred frees", lb,
+		func() uint64 { return rt.Stats().MagazineSpilled })
+	reg.GaugeFunc("respct_epoch", "current epoch", lb,
+		func() float64 { return float64(rt.epochCache.Load()) })
+	reg.GaugeFunc("respct_durable_epoch", "epoch as persisted in NVMM", lb,
+		func() float64 { return float64(rt.durableEpoch.Load()) })
+	reg.CounterFunc("respct_arena_allocs_total", "arena allocations", lb,
+		func() uint64 { return rt.arena.Stats().Allocs })
+	reg.CounterFunc("respct_arena_frees_total", "arena frees", lb,
+		func() uint64 { return rt.arena.Stats().Frees })
+	reg.CounterFunc("respct_arena_carves_total", "fresh blocks carved off the bump region", lb,
+		func() uint64 { return rt.arena.Stats().Carves })
+	reg.GaugeFunc("respct_arena_used_bytes", "bytes between arena data base and bump cursor", lb,
+		func() float64 { return float64(rt.arena.Stats().Used) })
+	reg.CounterFunc("respct_pmem_flushes_total", "cache-line write-backs issued to NVMM", lb,
+		func() uint64 { return rt.heap.Stats().Flushes })
+	reg.CounterFunc("respct_pmem_fences_total", "persist barriers issued", lb,
+		func() uint64 { return rt.heap.Stats().Fences })
+	reg.CounterFunc("respct_pmem_evictions_total", "chaos-evictor line write-backs", lb,
+		func() uint64 { return rt.heap.Stats().Evictions })
+	reg.GaugeFunc("respct_flight_seq", "flight-recorder sequence number", lb,
+		func() float64 { return float64(rt.flight.Seq()) })
+}
+
+// Flight returns the runtime's persistent flight recorder. It is always
+// non-nil after NewRuntime/Recover; events append at checkpoint cadence.
+func (rt *Runtime) Flight() *telemetry.FlightRecorder { return rt.flight }
 
 // Heap returns the underlying persistent heap.
 func (rt *Runtime) Heap() *pmem.Heap { return rt.heap }
@@ -481,6 +578,9 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 	defer rt.ckptMu.Unlock()
 
 	start := time.Now()
+	if rt.met.epochNs != nil && !rt.lastCkptEnd.IsZero() {
+		rt.met.epochNs.ObserveDuration(0, start.Sub(rt.lastCkptEnd))
+	}
 	rt.timer.Store(true)
 	want := int32(len(rt.threads))
 	for rt.parked.Load() < want {
@@ -536,6 +636,15 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 	rt.statGateNs.Add(int64(info.GateWait))
 	rt.statFlushNs.Add(int64(info.FlushTime))
 	rt.statTotalNs.Add(int64(info.Total))
+	rt.lastCkptEnd = end
+	if rt.met.pauseNs != nil {
+		rt.met.pauseNs.ObserveDuration(0, info.Total)
+		rt.met.gateNs.ObserveDuration(0, info.GateWait)
+		rt.met.lines.Observe(0, uint64(lines))
+	}
+	if rt.flight != nil {
+		rt.flight.Record(telemetry.FlightCheckpoint, ending, uint64(info.Total), uint64(lines))
+	}
 	return info
 }
 
@@ -647,5 +756,17 @@ func (rt *Runtime) Stats() RuntimeStats {
 		CommitLag:        time.Duration(rt.statCommitNs.Load()),
 		CollisionFlushes: rt.statCollFlush.Load(),
 		CollisionsLogged: rt.statCollLogged.Load(),
+		CollisionLogPeak: rt.statCollPeak.Load(),
+
+		MagazineRecycled: rt.magCount(func(t *Thread) uint64 { return t.magRecycled.Load() }),
+		MagazineSpilled:  rt.magCount(func(t *Thread) uint64 { return t.magSpilled.Load() }),
 	}
+}
+
+func (rt *Runtime) magCount(f func(*Thread) uint64) uint64 {
+	var total uint64
+	for _, t := range rt.all {
+		total += f(t)
+	}
+	return total
 }

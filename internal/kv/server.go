@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/telemetry"
 )
 
 // Server exposes a Store over a memcached-style text protocol:
@@ -36,6 +37,30 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	met *serverMetrics // nil unless NewServerWithMetrics
+}
+
+// serverMetrics is the server's optional telemetry: per-op latency
+// histograms (observed by the executing worker, so recording is sharded by
+// worker index), an active-connection gauge and a protocol-error counter.
+type serverMetrics struct {
+	setNs     *telemetry.Histogram
+	getNs     *telemetry.Histogram
+	delNs     *telemetry.Histogram
+	conns     *telemetry.Gauge
+	protoErrs *telemetry.Counter
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	const help = "server-side operation latency, dispatch to reply"
+	return &serverMetrics{
+		setNs:     reg.Histogram("respct_kv_op_ns", help, telemetry.Labels{"op": "set"}),
+		getNs:     reg.Histogram("respct_kv_op_ns", help, telemetry.Labels{"op": "get"}),
+		delNs:     reg.Histogram("respct_kv_op_ns", help, telemetry.Labels{"op": "delete"}),
+		conns:     reg.Gauge("respct_kv_conns", "open client connections", nil),
+		protoErrs: reg.Counter("respct_kv_protocol_errors_total", "malformed client commands", nil),
+	}
 }
 
 // maxValueBytes bounds a single value. Oversized sets are refused, but their
@@ -63,6 +88,17 @@ type idleAware interface {
 // listening on addr (e.g. "127.0.0.1:0"). Use Addr to discover the bound
 // address.
 func NewServer(store Store, workers int, addr string) (*Server, error) {
+	return newServer(store, workers, addr, nil)
+}
+
+// NewServerWithMetrics is NewServer plus telemetry in reg: per-op latency
+// histograms (respct_kv_op_ns{op="set"|"get"|"delete"}), an open-connection
+// gauge and a protocol-error counter.
+func NewServerWithMetrics(store Store, workers int, addr string, reg *telemetry.Registry) (*Server, error) {
+	return newServer(store, workers, addr, newServerMetrics(reg))
+}
+
+func newServer(store Store, workers int, addr string, met *serverMetrics) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -74,6 +110,7 @@ func NewServer(store Store, workers int, addr string) (*Server, error) {
 		dispatch: make(chan request, 256),
 		closed:   make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
+		met:      met,
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -129,6 +166,10 @@ func (s *Server) worker(w int) {
 			}
 			return
 		}
+		var start time.Time
+		if s.met != nil {
+			start = time.Now()
+		}
 		var resp response
 		switch req.op {
 		case 's':
@@ -140,17 +181,41 @@ func (s *Server) worker(w int) {
 			resp.found = s.store.Delete(w, req.key)
 		}
 		s.store.PerOp(w)
+		if s.met != nil {
+			d := time.Since(start)
+			switch req.op {
+			case 's':
+				s.met.setNs.ObserveDuration(w, d)
+			case 'g':
+				s.met.getNs.ObserveDuration(w, d)
+			case 'd':
+				s.met.delNs.ObserveDuration(w, d)
+			}
+		}
 		req.reply <- resp
+	}
+}
+
+// protoErr counts one malformed client command when telemetry is on.
+func (s *Server) protoErr() {
+	if s.met != nil {
+		s.met.protoErrs.Inc(0)
 	}
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.connWG.Done()
+	if s.met != nil {
+		s.met.conns.Add(1)
+	}
 	defer func() {
 		conn.Close()
 		s.connMu.Lock()
 		delete(s.conns, conn)
 		s.connMu.Unlock()
+		if s.met != nil {
+			s.met.conns.Add(-1)
+		}
 	}()
 	r := bufio.NewReader(conn)
 	wtr := bufio.NewWriter(conn)
@@ -174,12 +239,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			// valid but oversized the body is consumed and the connection
 			// stays usable.
 			if len(fields) != 3 {
+				s.protoErr()
 				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
 				wtr.Flush()
 				return
 			}
 			n, err := strconv.Atoi(fields[2])
 			if err != nil || n < 0 {
+				s.protoErr()
 				fmt.Fprintf(wtr, "CLIENT_ERROR bad length\r\n")
 				wtr.Flush()
 				return
@@ -201,6 +268,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			fmt.Fprintf(wtr, "STORED\r\n")
 		case "get":
 			if len(fields) != 2 {
+				s.protoErr()
 				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
 				wtr.Flush()
 				continue
@@ -215,6 +283,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			wtr.WriteString("END\r\n")
 		case "delete":
 			if len(fields) != 2 {
+				s.protoErr()
 				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
 				wtr.Flush()
 				continue
@@ -230,6 +299,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			wtr.Flush()
 			return
 		default:
+			s.protoErr()
 			fmt.Fprintf(wtr, "ERROR\r\n")
 		}
 		if err := wtr.Flush(); err != nil {

@@ -21,6 +21,7 @@ type Evictor struct {
 	stop    chan struct{}
 	done    sync.WaitGroup
 	started atomic.Bool
+	evicted atomic.Uint64 // lines actually written back
 }
 
 // NewEvictor creates an evictor probing `rate` random lines per scheduling
@@ -53,11 +54,14 @@ func (e *Evictor) Start() {
 			if e.h.Crashed() {
 				return
 			}
-			e.h.EvictRandom(e.rate)
+			e.evicted.Add(uint64(e.h.EvictRandom(e.rate)))
 			runtime.Gosched()
 		}
 	}()
 }
+
+// Evicted returns the number of lines this evictor has written back.
+func (e *Evictor) Evicted() uint64 { return e.evicted.Load() }
 
 // Stop terminates the eviction goroutine and waits for it.
 func (e *Evictor) Stop() {

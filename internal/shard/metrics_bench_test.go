@@ -1,0 +1,51 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/respct/respct/internal/telemetry"
+)
+
+// BenchmarkStoreOps measures the cost a wired telemetry registry adds to the
+// hot KV path: a balanced 50/50 Get/Set mix over a 4-shard pool with the
+// periodic checkpoint driver running, metrics off vs on. The instrumented
+// run pays one sharded counter increment per routed op plus the checkpoint
+// histograms on the driver's cadence; the EXPERIMENTS.md overhead note cites
+// this benchmark.
+func BenchmarkStoreOps(b *testing.B) {
+	for _, metrics := range []bool{false, true} {
+		b.Run(fmt.Sprintf("metrics=%v", metrics), func(b *testing.B) {
+			cfg := testConfig(4, 1)
+			cfg.Interval = 16 * time.Millisecond
+			if metrics {
+				cfg.Metrics = telemetry.NewRegistry()
+			}
+			p, err := NewPool(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			s := p.Store()
+
+			const keys = 4096
+			val := make([]byte, 100)
+			for i := 0; i < keys; i++ {
+				s.Set(0, benchKey(i), val)
+			}
+			p.Start()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := benchKey(i % keys)
+				if i&1 == 0 {
+					s.Get(0, k)
+				} else {
+					s.Set(0, k, val)
+				}
+			}
+		})
+	}
+}
+
+func benchKey(i int) string { return fmt.Sprintf("user%012d", i) }

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/respct/respct/internal/core"
 	"github.com/respct/respct/internal/kv"
 	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/telemetry"
 )
 
 // Config parameterises a Pool. Sizes are per shard: a pool of N shards over
@@ -59,6 +61,11 @@ type Config struct {
 	// RecoveryParallelism is the per-shard block-scan parallelism used by
 	// core.Recover (shards themselves always recover in parallel).
 	RecoveryParallelism int
+
+	// Metrics, when non-nil, receives per-shard runtime series (labelled
+	// shard="i"), one operations-routed counter per shard (router skew),
+	// and pool-level gauges. Nil adds nothing to any path.
+	Metrics *telemetry.Registry
 }
 
 func (cfg *Config) defaults() error {
@@ -106,6 +113,39 @@ type Pool struct {
 	stopped   atomic.Bool
 	maxPause  atomic.Int64 // longest single-shard checkpoint, ns
 	ckptRound atomic.Uint64
+
+	// ops counts operations routed to each shard (router skew); nil when no
+	// registry was configured, and Store checks that once per operation.
+	ops []*telemetry.Counter
+}
+
+// shardRTConfig builds shard i's runtime config, labelling its series.
+func (cfg Config) shardRTConfig(i int) core.Config {
+	c := core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async, Metrics: cfg.Metrics}
+	if cfg.Metrics != nil {
+		c.MetricsLabels = telemetry.Labels{"shard": strconv.Itoa(i)}
+	}
+	return c
+}
+
+// initMetrics registers the pool-level series and the per-shard routed-ops
+// counters. Called once the shards slice is populated.
+func (p *Pool) initMetrics() {
+	reg := p.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	p.ops = make([]*telemetry.Counter, len(p.shards))
+	for i := range p.ops {
+		p.ops[i] = reg.Counter("respct_shard_ops_total", "operations routed to the shard",
+			telemetry.Labels{"shard": strconv.Itoa(i)})
+	}
+	reg.GaugeFunc("respct_pool_shards", "configured shard count", nil,
+		func() float64 { return float64(len(p.shards)) })
+	reg.GaugeFunc("respct_pool_max_pause_ns", "longest single-shard checkpoint pause", nil,
+		func() float64 { return float64(p.maxPause.Load()) })
+	reg.GaugeFunc("respct_pool_checkpoint_rounds", "completed CheckpointAll rounds", nil,
+		func() float64 { return float64(p.ckptRound.Load()) })
 }
 
 // NewPool formats cfg.Shards fresh shards and makes their empty stores
@@ -123,7 +163,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		go func(i int) {
 			defer wg.Done()
 			h := cfg.newHeap(i)
-			rt, err := core.NewRuntime(h, core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async})
+			rt, err := core.NewRuntime(h, cfg.shardRTConfig(i))
 			if err != nil {
 				errs[i] = err
 				return
@@ -149,6 +189,7 @@ func NewPool(cfg Config) (*Pool, error) {
 			return nil, err
 		}
 	}
+	p.initMetrics()
 	return p, nil
 }
 
@@ -173,7 +214,7 @@ func Recover(cfg Config, heaps []*pmem.Heap) (*Pool, *RecoveryReport, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rt, r, err := core.Recover(heaps[i], core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async}, cfg.RecoveryParallelism)
+			rt, r, err := core.Recover(heaps[i], cfg.shardRTConfig(i), cfg.RecoveryParallelism)
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
 				return
@@ -198,6 +239,7 @@ func Recover(cfg Config, heaps []*pmem.Heap) (*Pool, *RecoveryReport, error) {
 	}
 	rep.Duration = time.Since(start)
 	rep.merge()
+	p.initMetrics()
 	return p, rep, nil
 }
 
@@ -340,6 +382,11 @@ type PoolStats struct {
 	CommitLag        time.Duration
 	CollisionFlushes uint64
 	CollisionsLogged uint64
+	CollisionLogPeak uint64 // max over shards
+
+	// Allocator magazine aggregates.
+	MagazineRecycled uint64
+	MagazineSpilled  uint64
 }
 
 // Stats merges every shard runtime's counters.
@@ -357,6 +404,9 @@ func (p *Pool) Stats() PoolStats {
 		out.CommitLag += s.CommitLag
 		out.CollisionFlushes += s.CollisionFlushes
 		out.CollisionsLogged += s.CollisionsLogged
+		out.CollisionLogPeak = max(out.CollisionLogPeak, s.CollisionLogPeak)
+		out.MagazineRecycled += s.MagazineRecycled
+		out.MagazineSpilled += s.MagazineSpilled
 	}
 	return out
 }

@@ -22,9 +22,19 @@ func (p *Pool) Store() *Store { return &Store{p: p} }
 // Pool returns the underlying pool (for stats and lifecycle).
 func (s *Store) Pool() *Pool { return s.p }
 
+// route picks the shard for key and bumps its routed-ops counter when
+// telemetry is on (one uncontended atomic add; nil check otherwise).
+func (s *Store) route(th int, key string) *Shard {
+	i := s.p.ShardFor(key)
+	if s.p.ops != nil {
+		s.p.ops[i].Inc(th)
+	}
+	return s.p.shards[i]
+}
+
 // Set implements kv.Store.
 func (s *Store) Set(th int, key string, value []byte) {
-	sh := s.p.shards[s.p.ShardFor(key)]
+	sh := s.route(th, key)
 	t := sh.RT.Thread(th)
 	t.CheckpointPrevent(nil)
 	sh.KV.Set(th, key, value)
@@ -34,7 +44,7 @@ func (s *Store) Set(th int, key string, value []byte) {
 
 // Get implements kv.Store.
 func (s *Store) Get(th int, key string) ([]byte, bool) {
-	sh := s.p.shards[s.p.ShardFor(key)]
+	sh := s.route(th, key)
 	t := sh.RT.Thread(th)
 	t.CheckpointPrevent(nil)
 	v, ok := sh.KV.Get(th, key)
@@ -45,7 +55,7 @@ func (s *Store) Get(th int, key string) ([]byte, bool) {
 
 // Delete implements kv.Store.
 func (s *Store) Delete(th int, key string) bool {
-	sh := s.p.shards[s.p.ShardFor(key)]
+	sh := s.route(th, key)
 	t := sh.RT.Thread(th)
 	t.CheckpointPrevent(nil)
 	ok := sh.KV.Delete(th, key)

@@ -1,0 +1,26 @@
+// Package telemetry is the runtime observability layer: low-overhead metric
+// primitives, an HTTP exposition endpoint, and a persistent crash flight
+// recorder.
+//
+// The metric primitives (Counter, Gauge, Histogram) are designed for the
+// checkpointing hot paths they instrument: recording is allocation-free and
+// per-thread-sharded — each writer thread owns a padded slot, so concurrent
+// Inc/Observe calls never contend on a cache line — and aggregation happens
+// only on the read side (a scrape, a snapshot). Histograms use power-of-two
+// buckets (bucket i counts values in [2^(i-1), 2^i)), which makes Observe a
+// single bits.Len64 plus one uncontended atomic add and still yields usable
+// p50/p99/max estimates for latency series.
+//
+// A Registry names the metrics and renders them in Prometheus text format
+// (Handler, WritePrometheus) and as a JSON snapshot (WriteJSON) — the
+// substrate for the repo's BENCH_*.json result files. Handler also mounts
+// net/http/pprof next to the metric endpoints.
+//
+// The FlightRecorder is different in kind: it is a small fixed-size event
+// ring carved out of the *persistent* heap, recording the last N
+// checkpoint/drain/recovery events so that a crashed process leaves a trace
+// of the runtime's final moments in NVMM. Entries are fenced entry-then-
+// cursor (like the collision log), so a crash at any instant — including
+// mid-wraparound — recovers a consistent window of genuinely appended
+// events.
+package telemetry

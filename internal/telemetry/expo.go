@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4). Histograms emit the conventional
+// _bucket/_sum/_count triple with cumulative power-of-two `le` edges,
+// trimmed to the occupied range.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	seenType := map[string]bool{}
+	for _, m := range r.snapshot() {
+		if !seenType[m.name] {
+			seenType[m.name] = true
+			if m.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind.promType())
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.gauge.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.cfn())
+		case kindGaugeFunc:
+			fmt.Fprintf(w, "%s%s %g\n", m.name, m.labels, m.gfn())
+		case kindHistogram:
+			writePromHistogram(w, m)
+		}
+	}
+	return nil
+}
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// labelJoin splices an extra label into a rendered label set.
+func labelJoin(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func writePromHistogram(w io.Writer, m metric) {
+	s := m.hist.Snapshot()
+	// Emit only up to the highest occupied bucket: 65 edges per series
+	// would drown the endpoint in empty lines.
+	top := 0
+	for b := 0; b < numBuckets; b++ {
+		if s.Buckets[b] > 0 {
+			top = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= top; b++ {
+		cum += s.Buckets[b]
+		_, hi := bucketBounds(b)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labelJoin(m.labels, fmt.Sprintf("le=%q", formatEdge(hi))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labelJoin(m.labels, `le="+Inf"`), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", m.name, m.labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, s.Count)
+}
+
+// formatEdge renders a bucket upper edge as a plain integer (Prometheus
+// expects a float-parseable string; integers parse fine and stay readable).
+func formatEdge(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// JSONMetric is one series in a JSON snapshot.
+type JSONMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Type   string            `json:"type"`
+	Value  *float64          `json:"value,omitempty"`
+
+	// Histogram-only summary fields.
+	Count uint64  `json:"count,omitempty"`
+	Sum   uint64  `json:"sum,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	P50   uint64  `json:"p50,omitempty"`
+	P99   uint64  `json:"p99,omitempty"`
+	Max   uint64  `json:"max,omitempty"`
+}
+
+// SnapshotJSON returns every series as a JSON-marshalable summary, sorted by
+// name then labels so snapshots diff cleanly.
+func (r *Registry) SnapshotJSON() []JSONMetric {
+	metrics := r.snapshot()
+	out := make([]JSONMetric, 0, len(metrics))
+	for _, m := range metrics {
+		jm := JSONMetric{Name: m.name, Labels: parseLabels(m.labels), Type: m.kind.promType()}
+		switch m.kind {
+		case kindCounter:
+			jm.Value = f64(float64(m.counter.Value()))
+		case kindGauge:
+			jm.Value = f64(float64(m.gauge.Value()))
+		case kindCounterFunc:
+			jm.Value = f64(float64(m.cfn()))
+		case kindGaugeFunc:
+			jm.Value = f64(m.gfn())
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			jm.Count, jm.Sum, jm.Mean = s.Count, s.Sum, s.Mean()
+			jm.P50, jm.P99, jm.Max = s.Quantile(0.50), s.Quantile(0.99), s.Max
+		}
+		out = append(out, jm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return fmt.Sprint(out[i].Labels) < fmt.Sprint(out[j].Labels)
+	})
+	return out
+}
+
+func f64(v float64) *float64 { return &v }
+
+// parseLabels inverts Labels.render for the JSON view.
+func parseLabels(rendered string) map[string]string {
+	if rendered == "" {
+		return nil
+	}
+	out := map[string]string{}
+	body := strings.TrimSuffix(strings.TrimPrefix(rendered, "{"), "}")
+	for _, kv := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		out[k] = strings.Trim(v, `"`)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.SnapshotJSON())
+}
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics        Prometheus text format
+//	/metrics.json   JSON snapshot
+//	/debug/pprof/   the standard pprof handlers
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is bits.Len64 of the largest observable value plus one: bucket
+// b counts values v with bits.Len64(v) == b, i.e. v in [2^(b-1), 2^b).
+// Bucket 0 counts zeros.
+const numBuckets = 65
+
+// histShard is one writer's private bucket array. Sum and max ride along so
+// aggregation can report exact means and true maxima, not bucket-rounded
+// ones.
+type histShard struct {
+	counts [numBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+	_      [48]byte
+}
+
+// Histogram is a per-writer-sharded latency/size histogram with
+// power-of-two buckets. Observe is allocation-free and, for distinct tids,
+// contention-free; all cross-shard work happens in Snapshot.
+type Histogram struct {
+	shards [Shards]histShard
+}
+
+// Observe records v under writer tid.
+func (h *Histogram) Observe(tid int, v uint64) {
+	s := &h.shards[tid&(Shards-1)]
+	s.counts[bits.Len64(v)].Add(1)
+	s.sum.Add(v)
+	// Lossy max: a concurrent larger value may win the race, which is the
+	// value we wanted anyway; a smaller one never replaces a larger one.
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in nanoseconds (negative durations clamp to 0).
+func (h *Histogram) ObserveDuration(tid int, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(tid, uint64(d))
+}
+
+// HistSnapshot is an aggregated, immutable view of a Histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets [numBuckets]uint64 // Buckets[b] counts values in [2^(b-1), 2^b)
+}
+
+// Snapshot aggregates every shard. Concurrent Observe calls may or may not
+// be included — each observed value is either fully present or fully absent
+// from some later snapshot, never torn across Count/Sum (readers tolerate
+// the transient skew; the series is monotone).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var out HistSnapshot
+	for i := range h.shards {
+		s := &h.shards[i]
+		for b := 0; b < numBuckets; b++ {
+			c := s.counts[b].Load()
+			out.Buckets[b] += c
+			out.Count += c
+		}
+		out.Sum += s.sum.Load()
+		if m := s.max.Load(); m > out.Max {
+			out.Max = m
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of observed values, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts.
+// Within the located bucket it interpolates linearly, so the estimate is
+// bounded by the bucket's power-of-two edges.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for b := 0; b < numBuckets; b++ {
+		c := s.Buckets[b]
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo, hi := bucketBounds(b)
+			if hi > s.Max && s.Max >= lo {
+				hi = s.Max // the true max tightens the top bucket
+			}
+			frac := float64(rank-seen) / float64(c)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		seen += c
+	}
+	return s.Max
+}
+
+// bucketBounds returns the [lo, hi) value range of bucket b.
+func bucketBounds(b int) (lo, hi uint64) {
+	if b == 0 {
+		return 0, 1
+	}
+	lo = uint64(1) << (b - 1)
+	if b >= 64 {
+		return lo, ^uint64(0)
+	}
+	return lo, uint64(1) << b
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0, 0)    // bucket 0
+	h.Observe(0, 1)    // bucket 1: [1,2)
+	h.Observe(0, 2)    // bucket 2: [2,4)
+	h.Observe(0, 3)    // bucket 2
+	h.Observe(0, 1024) // bucket 11: [1024,2048)
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 1030 || s.Max != 1024 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	for b, want := range map[int]uint64{0: 1, 1: 1, 2: 2, 11: 1} {
+		if s.Buckets[b] != want {
+			t.Fatalf("bucket %d = %d, want %d", b, s.Buckets[b], want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(i%Shards, uint64(i))
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	// Power-of-two buckets: the true p50 (500) lies in [256,1024); the
+	// interpolated estimate must land in the surrounding bucket range.
+	if p50 < 256 || p50 >= 1024 {
+		t.Fatalf("p50 = %d, want within [256,1024)", p50)
+	}
+	if p100 := s.Quantile(1.0); p100 != s.Max {
+		t.Fatalf("p100 = %d, want max %d", p100, s.Max)
+	}
+	if s.Max != 999 {
+		t.Fatalf("max = %d, want 999", s.Max)
+	}
+	if q := (HistSnapshot{}).Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+// TestHistogramConcurrentAggregation hammers one histogram from many
+// goroutines while a reader snapshots continuously: recording must stay
+// race-free (the -race build checks that) and the final aggregate exact.
+func TestHistogramConcurrentAggregation(t *testing.T) {
+	var h Histogram
+	const writers = 8
+	per := 50_000
+	if testing.Short() {
+		per = 10_000
+	}
+	var wantSum atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent reader: snapshots must never observe Count regressions.
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count < last {
+				t.Error("snapshot count regressed")
+				return
+			}
+			last = s.Count
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			var local uint64
+			for i := 0; i < per; i++ {
+				v := uint64(rng.Int63n(1 << 20))
+				h.Observe(w, v)
+				local += v
+			}
+			wantSum.Add(local)
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	rd.Wait()
+	s := h.Snapshot()
+	if s.Count != uint64(writers*per) {
+		t.Fatalf("count = %d, want %d", s.Count, writers*per)
+	}
+	if s.Sum != wantSum.Load() {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum.Load())
+	}
+	var bucketTotal uint64
+	for _, c := range s.Buckets {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(0, 3*time.Millisecond)
+	h.ObserveDuration(0, -time.Second) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 2 || s.Max != uint64(3*time.Millisecond) || s.Buckets[0] != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Shards is the number of per-writer slots each sharded metric owns. Writer
+// ids (worker thread indices, usually 0..threads-1) are masked into this
+// range, so ids beyond it still work — they just share slots.
+const Shards = 16
+
+// counterSlot pads one writer's count to a cache line so that writers on
+// different slots never false-share.
+type counterSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing, per-writer-sharded counter.
+type Counter struct {
+	slots [Shards]counterSlot
+}
+
+// Add adds d to the counter. tid identifies the writer (a worker thread
+// index); concurrent writers with distinct tids never contend.
+func (c *Counter) Add(tid int, d uint64) {
+	c.slots[tid&(Shards-1)].v.Add(d)
+}
+
+// Inc adds one.
+func (c *Counter) Inc(tid int) { c.Add(tid, 1) }
+
+// Value aggregates all slots.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.slots {
+		total += c.slots[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value. Unlike Counter it is a single
+// atomic — gauges are set from slow paths (connection open/close, config).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates the exposition format of a registered series.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	help   string
+	labels string // rendered `{k="v",...}` or ""
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64
+	gfn     func() float64
+}
+
+// Registry names and exposes a set of metrics. All registration methods are
+// safe for concurrent use; registering the same name+labels twice returns
+// the existing metric (so per-shard constructors may be re-run idempotently).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+// Labels is a set of constant labels attached to a series.
+type Labels map[string]string
+
+// render produces the deterministic `{k="v",...}` form.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register adds or returns the series under name+labels.
+func (r *Registry) register(name, help string, labels Labels, kind metricKind) *metric {
+	key := name + labels.render()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok {
+		return m
+	}
+	m := &metric{name: name, help: help, labels: labels.render(), kind: kind}
+	r.metrics = append(r.metrics, m)
+	r.index[key] = m
+	return m
+}
+
+// Counter registers (or returns) a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	m := r.register(name, help, labels, kindCounter)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge registers (or returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	m := r.register(name, help, labels, kindGauge)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// Histogram registers (or returns) a power-of-two-bucket histogram series.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	m := r.register(name, help, labels, kindHistogram)
+	if m.hist == nil {
+		m.hist = &Histogram{}
+	}
+	return m.hist
+}
+
+// CounterFunc registers a pull-style counter: fn is called at scrape time.
+// Use it to expose counters a subsystem already maintains (heap flush
+// totals, runtime checkpoint stats) without double-counting on hot paths.
+// Re-registering an existing series rebinds it to fn — after a crash-recover
+// cycle the registry scrapes the live runtime, not the dead one.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	m := r.register(name, help, labels, kindCounterFunc)
+	r.mu.Lock()
+	m.cfn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a pull-style gauge. Re-registration rebinds, like
+// CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	m := r.register(name, help, labels, kindGaugeFunc)
+	r.mu.Lock()
+	m.gfn = fn
+	r.mu.Unlock()
+}
+
+// snapshot copies the metric list for rendering. Values, not pointers: the
+// fn fields may be rebound concurrently, so they are read under the lock.
+func (r *Registry) snapshot() []metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]metric, len(r.metrics))
+	for i, m := range r.metrics {
+		out[i] = *m
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "ops", nil)
+	const writers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != writers*per {
+		t.Fatalf("counter = %d, want %d", got, writers*per)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "", Labels{"shard": "0"})
+	b := reg.Counter("dup_total", "", Labels{"shard": "0"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := reg.Counter("dup_total", "", Labels{"shard": "1"})
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	a.Inc(0)
+	c.Add(0, 2)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `dup_total{shard="0"} 1`) || !strings.Contains(out, `dup_total{shard="1"} 2`) {
+		t.Fatalf("labeled series missing:\n%s", out)
+	}
+	// TYPE header must appear once per metric name, not per label set.
+	if strings.Count(out, "# TYPE dup_total counter") != 1 {
+		t.Fatalf("TYPE header not deduplicated:\n%s", out)
+	}
+}
+
+func TestGaugeAndFuncs(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("conns", "active connections", nil)
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	reg.CounterFunc("pulled_total", "", nil, func() uint64 { return 42 })
+	reg.GaugeFunc("ratio", "", nil, func() float64 { return 0.5 })
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, want := range []string{"conns 2", "pulled_total 42", "ratio 0.5"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("respct_checkpoints_total", "", nil).Add(0, 7)
+	h := reg.Histogram("respct_op_ns", "", nil)
+	h.Observe(0, 1000)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return sb.String()
+	}
+
+	text := get("/metrics")
+	if !strings.Contains(text, "respct_checkpoints_total 7") {
+		t.Fatalf("prometheus output missing counter:\n%s", text)
+	}
+	if !strings.Contains(text, `respct_op_ns_bucket{le="1024"} 1`) {
+		t.Fatalf("prometheus output missing histogram bucket:\n%s", text)
+	}
+	js := get("/metrics.json")
+	if !strings.Contains(js, `"respct_op_ns"`) || !strings.Contains(js, `"p99"`) {
+		t.Fatalf("json output missing histogram summary:\n%s", js)
+	}
+	if pp := get("/debug/pprof/cmdline"); pp == "" {
+		t.Fatal("pprof cmdline endpoint empty")
+	}
+}
