@@ -1,0 +1,28 @@
+GO ?= go
+BIN := bin
+
+.PHONY: build test race vet respctvet clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+$(BIN)/respctvet: $(wildcard cmd/respctvet/*.go internal/analysis/*/*.go)
+	$(GO) build -o $(BIN)/respctvet ./cmd/respctvet
+
+respctvet: $(BIN)/respctvet
+
+# vet runs the ResPCT crash-consistency analyzers (rawstore, preventpair,
+# persistorder, atomicmix, linefit) over the whole module through the go vet
+# unitchecker protocol. It fails on any finding that is not suppressed by a
+# justified //respct:allow directive.
+vet: $(BIN)/respctvet
+	$(GO) vet -vettool=$(CURDIR)/$(BIN)/respctvet ./...
+
+clean:
+	rm -rf $(BIN)

@@ -1,0 +1,36 @@
+// Command respctvet is the ResPCT crash-consistency vet tool: five
+// go/analysis analyzers that prove the tracking, checkpoint-protocol,
+// persist-ordering, atomic-discipline and cache-line-size invariants at
+// compile time instead of relying on crash soaks to hit them.
+//
+// It speaks the go vet unitchecker protocol, so the supported invocation is
+// through the go command, which drives it package by package with facts
+// flowing along the import graph:
+//
+//	go build -o bin/respctvet ./cmd/respctvet
+//	go vet -vettool=$(pwd)/bin/respctvet ./...
+//
+// (or `go vet -vettool=$(which respctvet) ./...` when the binary is on
+// PATH). `make vet` wraps exactly that. Findings are suppressed with
+// //respct:allow <analyzer> — <justification>; see internal/analysis.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/respct/respct/internal/analysis/atomicmix"
+	"github.com/respct/respct/internal/analysis/linefit"
+	"github.com/respct/respct/internal/analysis/persistorder"
+	"github.com/respct/respct/internal/analysis/preventpair"
+	"github.com/respct/respct/internal/analysis/rawstore"
+)
+
+func main() {
+	unitchecker.Main(
+		rawstore.Analyzer,
+		preventpair.Analyzer,
+		persistorder.Analyzer,
+		atomicmix.Analyzer,
+		linefit.Analyzer,
+	)
+}

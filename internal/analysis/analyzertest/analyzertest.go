@@ -1,0 +1,310 @@
+// Package analyzertest is a self-contained replacement for
+// golang.org/x/tools/go/analysis/analysistest, which is not part of the
+// x/tools subset vendored from the Go distribution (the module proxy is not
+// reachable from this build environment). It loads GOPATH-style testdata
+// packages from testdata/src/<path>, type-checks them against the real
+// standard library via the source importer, runs an analyzer (and its
+// transitive Requires) with an in-memory fact store, and matches the
+// reported diagnostics against analysistest's "// want" comment syntax:
+//
+//	h.Store64(a, 1) // want `raw pmem store`
+//
+// Each backquoted or double-quoted token after "want" is a regular
+// expression that must match exactly one diagnostic on that line, and every
+// diagnostic must be matched by an expectation.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, mirroring analysistest.TestData.
+func TestData() string {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return testdata
+}
+
+// Run loads each named package from dir/src, applies a to it and checks the
+// diagnostics against the packages' // want expectations. Testdata-local
+// imports (any import path that exists under dir/src) are loaded and
+// analyzed first, so object facts exported on their objects are visible to
+// the named packages.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	h := &harness{
+		t:        t,
+		root:     filepath.Join(dir, "src"),
+		fset:     token.NewFileSet(),
+		packages: make(map[string]*loadedPkg),
+		results:  make(map[resultKey]interface{}),
+		objFacts: make(map[objFactKey]analysis.Fact),
+		pkgFacts: make(map[pkgFactKey]analysis.Fact),
+	}
+	h.source = importer.ForCompiler(h.fset, "source", nil)
+	for _, path := range pkgs {
+		p := h.load(path)
+		if p == nil {
+			t.Errorf("failed to load testdata package %s", path)
+			continue
+		}
+		h.analyze(a, p)
+		h.check(p)
+	}
+}
+
+type loadedPkg struct {
+	path     string
+	files    []*ast.File
+	fileName []string
+	pkg      *types.Package
+	info     *types.Info
+	diags    []analysis.Diagnostic
+	analyzed map[*analysis.Analyzer]bool
+}
+
+type resultKey struct {
+	a *analysis.Analyzer
+	p *loadedPkg
+}
+
+type objFactKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+type harness struct {
+	t        *testing.T
+	root     string
+	fset     *token.FileSet
+	source   types.Importer
+	packages map[string]*loadedPkg
+	results  map[resultKey]interface{}
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+}
+
+// load parses and type-checks dir/src/<path>, memoized. Returns nil if the
+// directory does not exist.
+func (h *harness) load(path string) *loadedPkg {
+	if p, ok := h.packages[path]; ok {
+		return p
+	}
+	dir := filepath.Join(h.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	p := &loadedPkg{path: path, analyzed: make(map[*analysis.Analyzer]bool)}
+	h.packages[path] = p // pre-register: import cycles fail in the checker, not here
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(h.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			h.t.Fatalf("parse %s: %v", name, err)
+		}
+		p.files = append(p.files, f)
+		p.fileName = append(p.fileName, name)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			if ipath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if sub := h.load(ipath); sub != nil {
+				return sub.pkg, nil
+			}
+			return h.source.Import(ipath)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, h.fset, p.files, info)
+	if err != nil {
+		h.t.Fatalf("typecheck %s: %v", path, err)
+	}
+	p.pkg, p.info = pkg, info
+	return p
+}
+
+// analyze runs a (and, first, everything it requires plus a itself on the
+// package's testdata-local imports) over p, memoized per (analyzer, pkg).
+func (h *harness) analyze(a *analysis.Analyzer, p *loadedPkg) interface{} {
+	if p.analyzed[a] {
+		return h.results[resultKey{a, p}]
+	}
+	p.analyzed[a] = true
+	// Facts flow along imports: analyze testdata-local dependencies first.
+	if len(a.FactTypes) > 0 {
+		for _, imp := range p.pkg.Imports() {
+			if dep, ok := h.packages[imp.Path()]; ok {
+				h.analyze(a, dep)
+			}
+		}
+	}
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, req := range a.Requires {
+		resultOf[req] = h.analyze(req, p)
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       h.fset,
+		Files:      p.files,
+		Pkg:        p.pkg,
+		TypesInfo:  p.info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   resultOf,
+		Report: func(d analysis.Diagnostic) {
+			p.diags = append(p.diags, d)
+		},
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			stored, ok := h.objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+			if ok {
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+			}
+			return ok
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			h.objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			stored, ok := h.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}]
+			if ok {
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+			}
+			return ok
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			h.pkgFacts[pkgFactKey{p.pkg, reflect.TypeOf(fact)}] = fact
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for k, v := range h.objFacts {
+				out = append(out, analysis.ObjectFact{Object: k.obj, Fact: v})
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for k, v := range h.pkgFacts {
+				out = append(out, analysis.PackageFact{Package: k.pkg, Fact: v})
+			}
+			return out
+		},
+	}
+	result, err := a.Run(pass)
+	if err != nil {
+		h.t.Fatalf("%s on %s: %v", a.Name, p.path, err)
+	}
+	h.results[resultKey{a, p}] = result
+	return result
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// wantRx matches one quoted or backquoted expectation token.
+var wantRx = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// check compares p's collected diagnostics with its // want expectations.
+func (h *harness) check(p *loadedPkg) {
+	h.t.Helper()
+	var wants []*expectation
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 || !strings.HasPrefix(strings.TrimLeft(strings.TrimPrefix(text, "//"), " \t"), "want ") {
+					continue
+				}
+				pos := h.fset.Position(c.Pos())
+				for _, tok := range wantRx.FindAllString(text[i+len("want "):], -1) {
+					var pattern string
+					if tok[0] == '`' {
+						pattern = tok[1 : len(tok)-1]
+					} else {
+						var err error
+						pattern, err = strconv.Unquote(tok)
+						if err != nil {
+							h.t.Fatalf("%s: bad want token %s: %v", pos, tok, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						h.t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{pos.Filename, pos.Line, re, pattern})
+				}
+			}
+		}
+	}
+
+	sort.Slice(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
+	for _, d := range p.diags {
+		pos := h.fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.re == nil || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			h.t.Errorf("%s: unexpected diagnostic: %s", fmt.Sprintf("%s:%d", pos.Filename, pos.Line), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			h.t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

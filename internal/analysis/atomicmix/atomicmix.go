@@ -1,0 +1,259 @@
+// Package atomicmix defines an analyzer that flags struct fields accessed
+// both through sync/atomic functions and through plain loads/stores.
+//
+// Mixing the two is a data race the -race runtime only reports when both
+// sides actually collide during a run, and on NVMM it is worse than a race:
+// the plain store bypasses whatever ordering the atomic publishes (epoch
+// words, ring headers, pending bitmaps), so a checkpoint can cut between
+// the torn halves. The Go memory model makes the mixed program undefined
+// even when it happens to work today.
+//
+// The analyzer is module-wide: atomic and plain accesses may live in
+// different packages. It exports a fact per struct field recording how the
+// field has been accessed; when a later package adds the other access kind,
+// the finding is reported there. Within one package, plain-access sites are
+// the reporting anchor. Address-of without a sync/atomic consumer is not
+// counted as a plain access (the address may feed an atomic helper), which
+// keeps the analyzer conservative rather than noisy.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/respct/respct/internal/analysis/directive"
+)
+
+const doc = `flag struct fields accessed both via sync/atomic and via plain loads/stores
+
+A field that one site mutates with sync/atomic and another with a plain
+store is racy and, on persistent memory, can tear across a checkpoint cut.
+Pick one discipline per field.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       doc,
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*accessFact)(nil)},
+	Run:       run,
+}
+
+// accessFact records, per struct field, the access kinds seen anywhere in
+// the module so far. Exported fields for gob.
+type accessFact struct {
+	Atomic     bool // sync/atomic on &x.f
+	Plain      bool // plain load/store of x.f
+	AtomicElem bool // sync/atomic on &x.f[i]
+	PlainElem  bool // plain load/store of x.f[i]
+}
+
+func (*accessFact) AFact()           {}
+func (f *accessFact) String() string { return "accessFact" }
+
+type access struct {
+	field *types.Var
+	pos   ast.Node
+	elem  bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: atomic accesses. accounted holds selector nodes consumed by a
+	// sync/atomic call so pass 2 does not double-count them as plain.
+	accounted := make(map[ast.Expr]bool)
+	var atomics []access
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isSyncAtomicCall(pass, call) || len(call.Args) == 0 {
+			return
+		}
+		un, ok := call.Args[0].(*ast.UnaryExpr)
+		if !ok {
+			return
+		}
+		switch x := un.X.(type) {
+		case *ast.SelectorExpr:
+			if f := fieldOf(pass, x); f != nil {
+				accounted[x] = true
+				atomics = append(atomics, access{f, call, false})
+			}
+		case *ast.IndexExpr:
+			if sel, ok := x.X.(*ast.SelectorExpr); ok {
+				if f := fieldOf(pass, sel); f != nil {
+					accounted[sel] = true
+					atomics = append(atomics, access{f, call, true})
+				}
+			}
+		}
+	})
+
+	// Pass 2: plain accesses.
+	var plains []access
+	ins.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		sel := n.(*ast.SelectorExpr)
+		if accounted[sel] {
+			return true
+		}
+		f := fieldOf(pass, sel)
+		if f == nil {
+			return true
+		}
+		parent := ast.Node(nil)
+		if len(stack) >= 2 {
+			parent = stack[len(stack)-2]
+		}
+		switch p := parent.(type) {
+		case *ast.UnaryExpr:
+			return true // bare &x.f: destination unknown, stay conservative
+		case *ast.SelectorExpr:
+			return true // x.f.g: the leaf selector is visited separately
+		case *ast.IndexExpr:
+			if p.X == sel {
+				if grand := grandparent(stack); !isAddrOf(grand, p) {
+					plains = append(plains, access{f, p, true})
+				}
+				return true
+			}
+		case *ast.SliceExpr:
+			return true // reslicing reads the header, not elements
+		case *ast.CallExpr:
+			if p.Fun == sel {
+				return true // method call, not a field load
+			}
+		}
+		if isPlainLoadable(f.Type()) {
+			plains = append(plains, access{f, sel, false})
+		}
+		return true
+	})
+
+	// Merge local observations with facts from already-analyzed packages.
+	merged := make(map[*types.Var]*accessFact)
+	get := func(f *types.Var) *accessFact {
+		if m, ok := merged[f]; ok {
+			return m
+		}
+		m := new(accessFact)
+		pass.ImportObjectFact(f, m)
+		merged[f] = m
+		return m
+	}
+	imported := make(map[*types.Var]accessFact)
+	for _, a := range atomics {
+		imported[a.field] = *get(a.field)
+		if a.elem {
+			get(a.field).AtomicElem = true
+		} else {
+			get(a.field).Atomic = true
+		}
+	}
+	for _, a := range plains {
+		if _, ok := imported[a.field]; !ok {
+			imported[a.field] = *get(a.field)
+		}
+		if a.elem {
+			get(a.field).PlainElem = true
+		} else {
+			get(a.field).Plain = true
+		}
+	}
+
+	// Report at plain sites whenever the field is also atomic anywhere.
+	for _, a := range plains {
+		m := get(a.field)
+		if (a.elem && m.AtomicElem) || (!a.elem && m.Atomic) {
+			directive.Report(pass, a.pos.Pos(),
+				"field %s of %s is written with plain memory operations but accessed via sync/atomic elsewhere: mixed access is racy and can tear across a checkpoint cut",
+				a.field.Name(), fieldOwner(a.field))
+		}
+	}
+	// Atomic sites only report when the plain side lives in an imported
+	// package (its plain sites were compiled before our atomic ones existed).
+	for _, a := range atomics {
+		imp := imported[a.field]
+		if (a.elem && imp.PlainElem) || (!a.elem && imp.Plain) {
+			directive.Report(pass, a.pos.Pos(),
+				"field %s of %s is accessed via sync/atomic here but with plain memory operations in another package: mixed access is racy and can tear across a checkpoint cut",
+				a.field.Name(), fieldOwner(a.field))
+		}
+	}
+
+	// Export merged facts for fields our package defines.
+	for f, m := range merged {
+		if f.Pkg() == pass.Pkg && (m.Atomic || m.Plain || m.AtomicElem || m.PlainElem) {
+			pass.ExportObjectFact(f, m)
+		}
+	}
+	return nil, nil
+}
+
+func grandparent(stack []ast.Node) ast.Node {
+	if len(stack) >= 3 {
+		return stack[len(stack)-3]
+	}
+	return nil
+}
+
+func isAddrOf(n ast.Node, of ast.Expr) bool {
+	un, ok := n.(*ast.UnaryExpr)
+	return ok && un.X == of
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic package-level
+// function (Load*/Store*/Add*/Swap*/CompareAndSwap*/And*/Or*).
+func isSyncAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isPlainLoadable limits direct plain-access reporting to word-like fields
+// (basics and pointers): the kinds sync/atomic can also address.
+func isPlainLoadable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Basic, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// fieldOwner names the struct type a field belongs to, best effort.
+func fieldOwner(f *types.Var) string {
+	if f.Pkg() != nil {
+		return f.Pkg().Name()
+	}
+	return "?"
+}

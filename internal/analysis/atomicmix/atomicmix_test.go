@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/analysis/analyzertest"
+	"github.com/respct/respct/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), atomicmix.Analyzer, "lib", "a")
+}

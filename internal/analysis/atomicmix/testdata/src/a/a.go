@@ -1,0 +1,60 @@
+// Package a exercises atomicmix: same-package mixes, element mixes,
+// clean single-discipline fields, suppression, and cross-package mixes
+// against lib's exported facts.
+package a
+
+import (
+	"sync/atomic"
+
+	"lib"
+)
+
+type counter struct {
+	n    uint64
+	buf  []uint64
+	name string
+}
+
+func mixSame(c *counter) {
+	atomic.AddUint64(&c.n, 1)
+	c.n = 0 // want `field n of a is written with plain memory operations but accessed via sync/atomic elsewhere`
+}
+
+func mixElem(c *counter) {
+	atomic.StoreUint64(&c.buf[0], 1)
+	c.buf[1] = 2 // want `field buf of a is written with plain memory operations but accessed via sync/atomic elsewhere`
+}
+
+// atomicOnly: consistent atomic use of an (elsewhere-mixed) field reports
+// at the plain sites, not here.
+func atomicOnly(c *counter) uint64 {
+	atomic.AddUint64(&c.n, 1)
+	return atomic.LoadUint64(&c.n)
+}
+
+// plainOnly: a field nobody touches atomically is free to use plain ops.
+func plainOnly(c *counter) {
+	c.name = "x"
+}
+
+// headerOps: len/cap/reslice read the slice header, not elements.
+func headerOps(c *counter) int {
+	_ = c.buf[1:]
+	return len(c.buf)
+}
+
+func suppressedMix(c *counter) {
+	c.n = 0 //respct:allow atomicmix — construction-time store before the counter is shared
+}
+
+// plainOnRing mixes against lib's atomic discipline, known via facts.
+func plainOnRing(r *lib.Ring) {
+	r.Seq = 0      // want `field Seq of lib is written with plain memory operations but accessed via sync/atomic elsewhere`
+	r.Slots[1] = 9 // want `field Slots of lib is written with plain memory operations but accessed via sync/atomic elsewhere`
+}
+
+// atomicOnGauge adds the atomic half of a mix whose plain half lives in
+// lib: the finding lands here, at the site that completed the mix.
+func atomicOnGauge(g *lib.Gauge) {
+	atomic.StoreUint64(&g.Val, 1) // want `field Val of lib is accessed via sync/atomic here but with plain memory operations in another package`
+}

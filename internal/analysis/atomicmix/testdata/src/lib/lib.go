@@ -1,0 +1,24 @@
+// Package lib defines fields whose access discipline is established here
+// and then violated (or completed) by importing packages, exercising the
+// analyzer's fact flow.
+package lib
+
+import "sync/atomic"
+
+type Ring struct {
+	Seq   uint64
+	Slots []uint64
+}
+
+// Publish accesses both fields atomically: that is lib's discipline.
+func (r *Ring) Publish(v uint64) {
+	atomic.AddUint64(&r.Seq, 1)
+	atomic.StoreUint64(&r.Slots[0], v)
+}
+
+type Gauge struct {
+	Val uint64
+}
+
+// Set is a plain store; lib itself never touches Val atomically.
+func (g *Gauge) Set(v uint64) { g.Val = v }

@@ -1,0 +1,154 @@
+// Package directive implements the //respct:allow suppression comment shared
+// by every respctvet analyzer.
+//
+// A finding may be silenced with
+//
+//	//respct:allow <analyzer> — <justification>
+//
+// where <analyzer> is the analyzer's name (rawstore, preventpair,
+// persistorder, atomicmix, linefit) and <justification> is mandatory free
+// text explaining why the bypass is sound. The separator between the name
+// and the justification may be an em dash, "--", "-" or ":". A directive
+// with no justification does not suppress anything: the analyzer reports the
+// bare directive instead, so the tree can never accumulate unexplained
+// suppressions.
+//
+// Three scopes are recognised, from narrowest to widest:
+//
+//   - line: a directive on the flagged line, or alone on the line above it;
+//   - function: a directive in the doc comment of the enclosing function;
+//   - file: a directive in a comment group above the package clause
+//     (baseline implementations that bypass tracking wholesale use this).
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Prefix is the comment prefix (after "//") that introduces a suppression.
+const Prefix = "respct:allow"
+
+// minJustification is the minimum length of the justification text. It is
+// deliberately short — the point is to force *some* explanation, not to
+// grade prose — but long enough that "x" or "ok" don't pass.
+const minJustification = 8
+
+// Verdict is the outcome of looking up a suppression directive.
+type Verdict int
+
+const (
+	// NotAllowed means no directive for the analyzer covers the position.
+	NotAllowed Verdict = iota
+	// Allowed means a directive with a justification covers the position.
+	Allowed
+	// MissingJustification means a directive names the analyzer but carries
+	// no (or too little) justification text.
+	MissingJustification
+)
+
+// Check reports whether a //respct:allow directive for the named analyzer
+// covers pos. When the verdict is MissingJustification, the returned
+// position is the offending directive's.
+func Check(pass *analysis.Pass, pos token.Pos, analyzer string) (Verdict, token.Pos) {
+	file := enclosingFile(pass, pos)
+	if file == nil {
+		return NotAllowed, token.NoPos
+	}
+	posLine := pass.Fset.Position(pos).Line
+
+	verdict, vpos := NotAllowed, token.NoPos
+	consider := func(c *ast.Comment, scopeOK bool) {
+		if !scopeOK {
+			return
+		}
+		name, just, ok := parse(c.Text)
+		if !ok || name != analyzer {
+			return
+		}
+		if len(just) >= minJustification {
+			verdict, vpos = Allowed, c.Pos()
+		} else if verdict != Allowed {
+			verdict, vpos = MissingJustification, c.Pos()
+		}
+	}
+
+	pkgLine := pass.Fset.Position(file.Package).Line
+	fn := enclosingFuncDoc(file, pos)
+	for _, cg := range file.Comments {
+		inDoc := fn != nil && cg == fn
+		for _, c := range cg.List {
+			cLine := pass.Fset.Position(c.Pos()).Line
+			scopeOK := inDoc ||
+				cLine == posLine || cLine == posLine-1 || // line scope
+				cLine <= pkgLine // file scope: header above the package clause
+			consider(c, scopeOK)
+		}
+	}
+	return verdict, vpos
+}
+
+// Report is the reporting entry point analyzers use instead of
+// pass.Reportf: it applies the suppression directive for the analyzer's own
+// name at pos. A covered finding is dropped; a directive lacking
+// justification is reported in place of the finding.
+func Report(pass *analysis.Pass, pos token.Pos, format string, args ...interface{}) {
+	switch v, vpos := Check(pass, pos, pass.Analyzer.Name); v {
+	case Allowed:
+		return
+	case MissingJustification:
+		pass.Reportf(vpos, "%s suppression of %s needs a justification: //respct:allow %s — <why this bypass is sound>",
+			Prefix, pass.Analyzer.Name, pass.Analyzer.Name)
+	default:
+		pass.Reportf(pos, format, args...)
+	}
+}
+
+// parse splits a comment's text into the directive's analyzer name and
+// justification. ok is false when the comment is not a respct:allow
+// directive at all.
+func parse(text string) (name, justification string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, Prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(text[len(Prefix):])
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true // malformed: directive with no analyzer name
+	}
+	name = fields[0]
+	just := strings.TrimSpace(rest[strings.Index(rest, name)+len(name):])
+	for _, sep := range []string{"—", "--", "-", ":"} {
+		if strings.HasPrefix(just, sep) {
+			just = strings.TrimSpace(just[len(sep):])
+			break
+		}
+	}
+	return name, just, true
+}
+
+// enclosingFile returns the *ast.File of pass.Files containing pos.
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// enclosingFuncDoc returns the doc comment group of the innermost function
+// declaration containing pos, or nil.
+func enclosingFuncDoc(file *ast.File, pos token.Pos) *ast.CommentGroup {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd.Doc
+		}
+	}
+	return nil
+}

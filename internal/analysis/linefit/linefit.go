@@ -1,0 +1,94 @@
+// Package linefit defines an analyzer for //respct:linefit annotations.
+//
+// Several ResPCT structures are correct only because one instance occupies
+// exactly one 64-byte cache line: InCLL cells must not straddle lines (a
+// single CLWB must cover record+backup+epoch), per-thread flag slots and
+// telemetry counter slots are padded to a line to kill false sharing, and
+// flush accounting assumes one dirty line per slot. Those size contracts
+// are enforced today by init-time panics or not at all; a refactor that
+// adds a field compiles fine and fails at runtime (or worse, only under
+// crash recovery).
+//
+// Annotating the type declaration with
+//
+//	//respct:linefit
+//
+// moves the contract to vet time: the analyzer computes the type's size
+// with the real gc sizes for the target architecture and flags any
+// annotated type larger than 64 bytes. Types smaller than a line are
+// accepted — padding up to the line is the usual idiom and under-fill is a
+// performance question, not a correctness one.
+package linefit
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/respct/respct/internal/analysis/directive"
+)
+
+const doc = `check that //respct:linefit types fit in one 64-byte cache line
+
+A type annotated //respct:linefit must have sizeof <= 64 on the target
+architecture. InCLL cells, flag slots and counter slots rely on
+single-line residency for flush atomicity and false-sharing isolation.`
+
+// CacheLine is the line size the annotation is checked against.
+const CacheLine = 64
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "linefit",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+const marker = "respct:linefit"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.GenDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.GenDecl)
+		declAnnotated := hasMarker(decl.Doc)
+		for _, spec := range decl.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if !declAnnotated && !hasMarker(ts.Doc) && !hasMarker(ts.Comment) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[ts.Name]
+			if obj == nil {
+				continue
+			}
+			size := pass.TypesSizes.Sizeof(obj.Type())
+			if size > CacheLine {
+				directive.Report(pass, ts.Pos(),
+					"%s is annotated //respct:linefit but is %d bytes (> %d): it no longer fits one cache line, breaking single-CLWB atomicity / false-sharing isolation",
+					ts.Name.Name, size, CacheLine)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// hasMarker reports whether a comment group contains the //respct:linefit
+// annotation (on its own line or leading a longer comment).
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package linefit_test
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/analysis/analyzertest"
+	"github.com/respct/respct/internal/analysis/linefit"
+)
+
+func TestLineFit(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), linefit.Analyzer, "a")
+}

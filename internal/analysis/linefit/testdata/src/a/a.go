@@ -1,0 +1,45 @@
+// Package a exercises the linefit analyzer: exact fit, under-fill,
+// overflow, grouped declarations, and suppression.
+package a
+
+//respct:linefit
+type exactLine struct {
+	word uint64
+	pad  [56]byte
+}
+
+//respct:linefit
+type underLine struct {
+	word uint32
+}
+
+//respct:linefit
+type tooBig struct { // want `tooBig is annotated //respct:linefit but is 72 bytes`
+	word uint64
+	pad  [64]byte
+}
+
+// unannotated types of any size are left alone.
+type hugeButFine struct {
+	blob [4096]byte
+}
+
+type (
+	//respct:linefit
+	groupedFit struct {
+		a, b uint64
+	}
+
+	//respct:linefit
+	groupedBig struct { // want `groupedBig is annotated //respct:linefit but is 72 bytes`
+		a   uint64
+		pad [64]byte
+	}
+)
+
+//respct:linefit
+//respct:allow linefit — transitional: the flight entry shrinks to one line in the follow-up change
+type suppressedBig struct {
+	a   uint64
+	pad [64]byte
+}

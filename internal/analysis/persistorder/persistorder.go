@@ -1,0 +1,156 @@
+// Package persistorder defines an analyzer for the persist-before-publish
+// ordering inside the runtime layers (internal/core, internal/telemetry).
+//
+// ResPCT's crash-consistency points all share one shape: write a payload
+// (a log entry, a collision record, a flight-ring slot), FLUSH it, and only
+// then publish it by storing a cursor word (the epoch cell, a ring header,
+// a log head/count). Recovery trusts the cursor: everything at or below it
+// must already be durable. Storing the cursor while the payload may still
+// sit in a volatile cache line inverts the ordering — a crash between the
+// two flushes leaves a cursor that points at garbage, the
+// torn-entry-under-a-valid-header failure crash soaks catch only when the
+// eviction race loses.
+//
+// The analyzer is deliberately syntactic and local: within one function, a
+// raw Store64/StoreBytes to a cursor-like address (the address expression
+// mentions EpochAddr/…HdrAddr/…HeadAddr-style accessors or a hdr/head/
+// cursor-named variable) is flagged when an earlier raw store in the same
+// function has not been separated from it by a flush-like call
+// (Persist/Flush*/CLWB/SFence). StoreTracked is exempt — tracked stores are
+// flushed by the checkpoint protocol itself, not by local ordering.
+package persistorder
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/respct/respct/internal/analysis/directive"
+	"github.com/respct/respct/internal/analysis/respctapi"
+)
+
+const doc = `check payload-flush-then-cursor ordering in the runtime layers
+
+In internal/core and internal/telemetry, a raw store to a cursor word (epoch
+cell, ring header, log head) must be preceded by a flush of the payload it
+publishes. A cursor that becomes durable before its payload makes recovery
+read garbage.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "persistorder",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// cursorAddrRx matches accessor calls and variable names that denote a
+// published cursor: the epoch cell and *HdrAddr/*HeadAddr arena accessors,
+// plus hdr/head/cursor-named locals holding their results.
+var (
+	cursorCallRx = regexp.MustCompile(`(?i)^(epochaddr|.*hdraddr|.*headaddr|.*cursoraddr)$`)
+	cursorNameRx = regexp.MustCompile(`(?i)^(hdr|head|.*cursor.*)$`)
+	flushRx      = regexp.MustCompile(`(?i)^(.*flush.*|persist|clwb|sfence)$`)
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	switch pass.Pkg.Path() {
+	case respctapi.CorePath, respctapi.TelemetryPath:
+	default:
+		return nil, nil // ordering points live in the runtime layers only
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil || respctapi.IsTestFile(pass, body.Pos()) {
+			return
+		}
+		checkBody(pass, body)
+	})
+	return nil, nil
+}
+
+// checkBody scans one function body in source order, tracking the most
+// recent raw payload store that no flush has covered yet.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	unflushed := token.NoPos // last raw payload store not yet followed by a flush
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false // literals have their own scan
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isFlush(call):
+			unflushed = token.NoPos
+		default:
+			if _, raw := respctapi.IsRawHeapStore(pass, call); !raw {
+				break
+			}
+			if len(call.Args) == 0 {
+				break
+			}
+			if isCursorAddr(call.Args[0]) {
+				if unflushed.IsValid() {
+					directive.Report(pass, call.Pos(),
+						"cursor published before its payload is flushed: the raw store at %s has no flush (Persist/Flush*/SFence) before this cursor store, so a crash can leave a durable cursor over volatile data",
+						pass.Fset.Position(unflushed))
+				}
+			} else {
+				unflushed = call.Pos()
+			}
+		}
+		return true
+	})
+}
+
+// isCursorAddr reports whether the address expression denotes a published
+// cursor word: it contains a call to an EpochAddr/…HdrAddr/…HeadAddr-style
+// accessor or mentions a hdr/head/cursor-named identifier or field.
+func isCursorAddr(addr ast.Expr) bool {
+	found := false
+	ast.Inspect(addr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := calleeName(e); ok && cursorCallRx.MatchString(name) {
+				found = true
+			}
+		case *ast.Ident:
+			if cursorNameRx.MatchString(e.Name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isFlush reports whether call invokes a flush/persist/fence primitive or a
+// helper that wraps one (flushModified, Persist, CLWB, SFence, ...).
+func isFlush(call *ast.CallExpr) bool {
+	name, ok := calleeName(call)
+	return ok && flushRx.MatchString(name)
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}

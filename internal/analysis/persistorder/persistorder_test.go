@@ -1,0 +1,13 @@
+package persistorder_test
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/analysis/analyzertest"
+	"github.com/respct/respct/internal/analysis/persistorder"
+)
+
+func TestPersistOrder(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), persistorder.Analyzer,
+		"github.com/respct/respct/internal/core", "a")
+}

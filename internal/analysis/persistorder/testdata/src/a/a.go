@@ -1,0 +1,10 @@
+// Package a is outside the runtime layers: the same header-first pattern
+// must produce no findings here (the invariant is owned by core/telemetry).
+package a
+
+import "github.com/respct/respct/internal/pmem"
+
+func HeaderFirstElsewhere(h *pmem.Heap, entry, hdr pmem.Addr, v uint64) {
+	h.Store64(entry, v)
+	h.Store64(hdr, 1)
+}

@@ -1,0 +1,71 @@
+// Package core carries the persistorder test cases. The analyzer is gated
+// to the runtime layers, so the fixture lives at the core import path.
+package core
+
+import "github.com/respct/respct/internal/pmem"
+
+type Thread struct{ h *pmem.Heap }
+
+func (t *Thread) StoreTracked(a pmem.Addr, v uint64) {}
+
+func (t *Thread) flushModified() {}
+
+// goodEntryThenHeader is the canonical publish: payload, flush, cursor.
+func goodEntryThenHeader(h *pmem.Heap, entry, hdr pmem.Addr, v uint64) {
+	h.Store64(entry, v)
+	h.Store64(entry+8, v)
+	h.Persist(entry, 16)
+	h.Store64(hdr, 1)
+}
+
+// badHeaderFirst publishes the header while the entry may still be
+// volatile.
+func badHeaderFirst(h *pmem.Heap, entry, hdr pmem.Addr, v uint64) {
+	h.Store64(entry, v)
+	h.Store64(hdr, 1) // want `cursor published before its payload is flushed`
+}
+
+// badEpoch commits the epoch cell over an unflushed record.
+func badEpoch(h *pmem.Heap, rec pmem.Addr, e uint64) {
+	h.StoreBytes(rec, []byte("record"))
+	h.Store64(h.EpochAddr(), e) // want `cursor published before its payload is flushed`
+}
+
+// flushHelper: any flush-shaped helper (flushModified here) separates the
+// pair just as well as a raw Persist.
+func flushHelper(t *Thread, h *pmem.Heap, entry, head pmem.Addr, v uint64) {
+	h.Store64(entry, v)
+	t.flushModified()
+	h.Store64(head, 1)
+}
+
+// trackedExempt: StoreTracked is flushed by the checkpoint protocol, not
+// by local ordering, so it never arms the check.
+func trackedExempt(t *Thread, h *pmem.Heap, a, hdr pmem.Addr, v uint64) {
+	t.StoreTracked(a, v)
+	h.Store64(hdr, 1)
+}
+
+// armHeaders: back-to-back cursor stores with nothing pending (the
+// collision-log arming shape) are fine.
+func armHeaders(h *pmem.Heap, hdr pmem.Addr, ending uint64) {
+	h.Store64(hdr, ending)
+	h.Store64(hdr+8, 0)
+	h.Persist(hdr, 16)
+}
+
+// cursorNamedLocal: hdr/head/cursor-named locals are recognised as
+// publish targets too.
+func cursorNamedLocal(h *pmem.Heap, base pmem.Addr, v uint64) {
+	ringCursor := base + 128
+	h.Store64(base, v)
+	h.Store64(ringCursor, 1) // want `cursor published before its payload is flushed`
+}
+
+// suppressed: single-line payload+cursor in one cache line, persisted as
+// one unit by the caller.
+func suppressed(h *pmem.Heap, entry, hdr pmem.Addr, v uint64) {
+	h.Store64(entry, v)
+	h.Store64(hdr, 1) //respct:allow persistorder — header and entry share one line; caller persists the line as a unit
+	h.Persist(entry, 16)
+}

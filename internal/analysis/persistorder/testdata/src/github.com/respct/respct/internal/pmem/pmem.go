@@ -1,0 +1,13 @@
+// Package pmem is a testdata stand-in for the heap layer.
+package pmem
+
+type Addr uint64
+
+type Heap struct{}
+
+func (h *Heap) Store64(a Addr, v uint64)    {}
+func (h *Heap) StoreBytes(a Addr, b []byte) {}
+func (h *Heap) Load64(a Addr) uint64        { return 0 }
+func (h *Heap) EpochAddr() Addr             { return 0 }
+func (h *Heap) Persist(a Addr, n uintptr)   {}
+func (h *Heap) SFence()                     {}

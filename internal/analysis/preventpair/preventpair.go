@@ -1,0 +1,396 @@
+// Package preventpair defines a flow-sensitive analyzer (in the style of
+// vet's lostcancel) for the checkpoint allow/prevent protocol.
+//
+// A worker thread runs "prevented" by default: the checkpoint gate waits for
+// it to reach a restart point. CheckpointAllow opens an allow window around
+// a blocking call or goroutine exit; CheckpointPrevent closes it again.
+// Two local protocol violations stall the whole system or corrupt a cut:
+//
+//  1. A function that closes the window (CheckpointPrevent) and reopens it
+//     later must do so on EVERY path: an early return between the Prevent
+//     and the Allow leaves the thread prevented while it goes idle, and the
+//     next checkpoint gate spins forever waiting for it. (Functions whose
+//     idiom is the inverse — open windows for workers, checkpoint, close
+//     them, return — leave the thread prevented on ALL paths deliberately
+//     and are not flagged: the check only fires when some CheckpointAllow
+//     textually follows the Prevent, i.e. the function intends to reopen.)
+//
+//  2. CondWait performs Allow→Wait→Prevent internally, so it must only be
+//     reached in the prevented state. Reaching it through an open allow
+//     window means the thread was parked twice and, worse, that it touched
+//     the condition's shared (often persistent) state inside a window where
+//     a checkpoint may cut mid-operation.
+//
+// Receivers are matched like lostcancel matches cancel variables: by object
+// identity for plain identifiers, by printed expression otherwise. If the
+// thread handle escapes into another call, the leak check is skipped for it
+// (the callee may reopen the window).
+package preventpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"github.com/respct/respct/internal/analysis/directive"
+	"github.com/respct/respct/internal/analysis/respctapi"
+)
+
+const doc = `check CheckpointPrevent/CheckpointAllow pairing and CondWait placement
+
+A CheckpointPrevent that the function later undoes with CheckpointAllow must
+be undone on every return path, or the thread goes idle in the prevented
+state and checkpoints stall forever. CondWait must only be reached in the
+prevented state.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "preventpair",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+type eventKind int
+
+const (
+	evPrevent eventKind = iota
+	evAllow
+	evCondWait
+)
+
+// event is one protocol call inside a CFG block, in source order.
+type event struct {
+	kind eventKind
+	key  string // receiver identity
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		var g *cfg.CFG
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			g, body = cfgs.FuncDecl(fn), fn.Body
+		case *ast.FuncLit:
+			g, body = cfgs.FuncLit(fn), fn.Body
+		}
+		if g == nil || body == nil {
+			return
+		}
+		checkFunc(pass, g, body)
+	})
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, g *cfg.CFG, body *ast.BlockStmt) {
+	events := make(map[*cfg.Block][]event)
+	terminates := make(map[*cfg.Block]bool) // block unconditionally kills the goroutine
+	var allows []event
+	escaped := escapedThreads(pass, body)
+	any := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			forEachCall(n, func(call *ast.CallExpr) {
+				if name, ok := protocolCall(pass, call); ok {
+					key, keyOK := receiverKey(pass, call)
+					if !keyOK {
+						return
+					}
+					kind := map[string]eventKind{
+						"CheckpointPrevent": evPrevent,
+						"CheckpointAllow":   evAllow,
+						"CondWait":          evCondWait,
+					}[name]
+					ev := event{kind, key, call.Pos()}
+					events[b] = append(events[b], ev)
+					if kind == evAllow {
+						allows = append(allows, ev)
+					}
+					any = true
+				}
+				if isTerminator(pass, call) {
+					terminates[b] = true
+				}
+			})
+		}
+	}
+	if !any {
+		return
+	}
+	checkLeaks(pass, g, events, terminates, allows, escaped)
+	checkCondWait(pass, g, events)
+}
+
+// checkLeaks flags CheckpointPrevent calls that some CheckpointAllow
+// textually follows but that some path to a return never undoes.
+func checkLeaks(pass *analysis.Pass, g *cfg.CFG, events map[*cfg.Block][]event,
+	terminates map[*cfg.Block]bool, allows []event, escaped map[string]bool) {
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		evs := events[b]
+		for i, ev := range evs {
+			if ev.kind != evPrevent || escaped[ev.key] {
+				continue
+			}
+			// Does the function intend to reopen? (an Allow on the same
+			// receiver appears later in the source)
+			intends := false
+			for _, a := range allows {
+				if a.key == ev.key && a.pos > ev.pos {
+					intends = true
+					break
+				}
+			}
+			if !intends {
+				continue
+			}
+			// Discharged later in this very block?
+			discharged := false
+			for _, later := range evs[i+1:] {
+				if later.kind == evAllow && later.key == ev.key {
+					discharged = true
+					break
+				}
+			}
+			if discharged {
+				continue
+			}
+			if !allSuccPathsAllow(g, b, ev.key, events, terminates) {
+				directive.Report(pass, ev.pos,
+					"CheckpointPrevent is not followed by CheckpointAllow on every return path: an early return leaves the thread prevented and stalls every future checkpoint gate")
+			}
+		}
+	}
+}
+
+// allSuccPathsAllow reports whether every path from the end of b to the
+// function exit passes a CheckpointAllow on key. Greatest-fixpoint over the
+// CFG: loops with no exit are vacuously safe, exits reached without an
+// Allow are not. Blocks that unconditionally terminate the goroutine
+// (panic, Fatal, Exit) are safe — there is no idle prevented thread after
+// them.
+func allSuccPathsAllow(g *cfg.CFG, from *cfg.Block, key string,
+	events map[*cfg.Block][]event, terminates map[*cfg.Block]bool) bool {
+	safe := make(map[*cfg.Block]bool, len(g.Blocks))
+	hasAllow := func(b *cfg.Block) bool {
+		for _, ev := range events[b] {
+			if ev.kind == evAllow && ev.key == key {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range g.Blocks {
+		safe[b] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if !safe[b] || hasAllow(b) || terminates[b] {
+				continue
+			}
+			ok := len(b.Succs) > 0
+			for _, s := range b.Succs {
+				if !safe[s] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				safe[b] = false
+				changed = true
+			}
+		}
+	}
+	if len(from.Succs) == 0 {
+		return terminates[from]
+	}
+	for _, s := range from.Succs {
+		if !safe[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCondWait runs a forward may-analysis of the window state and flags
+// CondWait calls reachable with the allow window open.
+func checkCondWait(pass *analysis.Pass, g *cfg.CFG, events map[*cfg.Block][]event) {
+	type state struct{ mayAllowed, mayPrevented map[string]bool }
+	in := make(map[*cfg.Block]map[string]uint8) // bit0 mayPrevented, bit1 mayAllowed
+	if len(g.Blocks) == 0 {
+		return
+	}
+	_ = state{}
+	entry := g.Blocks[0]
+	in[entry] = map[string]uint8{}
+	reported := make(map[token.Pos]bool)
+	worklist := []*cfg.Block{entry}
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		cur := make(map[string]uint8, len(in[b]))
+		for k, v := range in[b] {
+			cur[k] = v
+		}
+		for _, ev := range events[b] {
+			st, ok := cur[ev.key]
+			if !ok {
+				st = 1 // default: prevented
+			}
+			switch ev.kind {
+			case evAllow:
+				cur[ev.key] = 2
+			case evPrevent:
+				cur[ev.key] = 1
+			case evCondWait:
+				if st&2 != 0 && !reported[ev.pos] {
+					reported[ev.pos] = true
+					directive.Report(pass, ev.pos,
+						"CondWait reached inside an open CheckpointAllow window: CondWait opens and closes its own window and must run in the prevented state")
+				}
+				cur[ev.key] = 1
+			}
+		}
+		for _, s := range b.Succs {
+			old := in[s]
+			merged := make(map[string]uint8, len(old)+len(cur))
+			for k, v := range old {
+				merged[k] = v
+			}
+			grew := old == nil
+			for k, v := range cur {
+				ov, ok := merged[k]
+				nv := v
+				if ok {
+					nv = ov | v
+				} else {
+					nv = v | 1 // unseen on other path: default prevented
+				}
+				if nv != ov || !ok {
+					merged[k] = nv
+					if ov != nv {
+						grew = true
+					}
+				}
+			}
+			if grew {
+				in[s] = merged
+				worklist = append(worklist, s)
+			}
+		}
+	}
+}
+
+// protocolCall returns the protocol method name if call is
+// Thread.CheckpointPrevent/CheckpointAllow/CondWait.
+func protocolCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	name, ok := respctapi.ThreadMethodName(pass, call)
+	if !ok {
+		return "", false
+	}
+	switch name {
+	case "CheckpointPrevent", "CheckpointAllow", "CondWait":
+		return name, true
+	}
+	return "", false
+}
+
+// receiverKey identifies the thread handle a protocol method is called on:
+// by types.Object for identifiers, by printed expression otherwise.
+func receiverKey(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return "obj:" + obj.Pkg().Path() + "." + obj.Name() + "@" + pass.Fset.Position(obj.Pos()).String(), true
+		}
+	}
+	return "expr:" + types.ExprString(sel.X), true
+}
+
+// escapedThreads collects receiver keys of thread identifiers that are
+// passed as arguments to other calls in body: the callee may operate the
+// protocol on them, so local pairing cannot be decided.
+func escapedThreads(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	escaped := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := arg.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if isThreadType(obj.Type()) {
+				escaped["obj:"+obj.Pkg().Path()+"."+obj.Name()+"@"+pass.Fset.Position(obj.Pos()).String()] = true
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+func isThreadType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Thread" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == respctapi.CorePath
+}
+
+// forEachCall visits every CallExpr inside n in source order, without
+// descending into function literals (their bodies have their own CFG).
+func forEachCall(n ast.Node, f func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			f(call)
+		}
+		return true
+	})
+}
+
+// isTerminator reports whether call unconditionally ends the goroutine or
+// process: panic, runtime.Goexit, os.Exit, testing's Fatal*, log.Fatal*.
+func isTerminator(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if name == "Goexit" || name == "Exit" || name == "Fatal" || name == "Fatalf" ||
+			name == "Skip" || name == "Skipf" || name == "FailNow" || name == "SkipNow" {
+			return true
+		}
+	}
+	return false
+}

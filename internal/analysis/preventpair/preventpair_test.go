@@ -1,0 +1,12 @@
+package preventpair_test
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/analysis/analyzertest"
+	"github.com/respct/respct/internal/analysis/preventpair"
+)
+
+func TestPreventPair(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), preventpair.Analyzer, "a")
+}

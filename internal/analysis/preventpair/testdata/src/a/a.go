@@ -1,0 +1,138 @@
+// Package a exercises the preventpair analyzer: leaked prevents, the
+// inverse open-windows-then-close idiom, CondWait placement, escapes,
+// terminating paths and suppressions.
+package a
+
+import (
+	"sync"
+
+	"github.com/respct/respct/internal/core"
+)
+
+func work()       {}
+func checkpoint() {}
+
+// paired is the canonical shard-operation shape: prevent, operate, allow.
+func paired(t *core.Thread, mu sync.Locker) {
+	t.CheckpointPrevent(mu)
+	work()
+	t.CheckpointAllow()
+}
+
+// leak reopens the window on the fall-through path but not on the early
+// return: the thread goes idle prevented and the next gate stalls.
+func leak(t *core.Thread, fail bool) {
+	t.CheckpointPrevent(nil) // want `CheckpointPrevent is not followed by CheckpointAllow on every return path`
+	if fail {
+		return
+	}
+	t.CheckpointAllow()
+}
+
+// leakLoop: the error break inside the serve loop skips the Allow.
+func leakLoop(t *core.Thread, mu sync.Locker, ops []bool) {
+	for _, bad := range ops {
+		t.CheckpointPrevent(mu) // want `CheckpointPrevent is not followed by CheckpointAllow on every return path`
+		if bad {
+			break
+		}
+		t.CheckpointAllow()
+	}
+}
+
+// idle is the checkpoint-idle idiom: open every worker's window, cut,
+// close them again and return prevented on ALL paths — deliberate, and
+// not flagged because no Allow follows the Prevent.
+func idle(ths []*core.Thread) {
+	for _, th := range ths {
+		th.CheckpointAllow()
+	}
+	checkpoint()
+	for _, th := range ths {
+		th.CheckpointPrevent(nil)
+	}
+}
+
+// panics: a panicking path is not an idle prevented thread.
+func panics(t *core.Thread, fail bool) {
+	t.CheckpointPrevent(nil)
+	if fail {
+		panic("corrupt cell")
+	}
+	t.CheckpointAllow()
+}
+
+// escapes: the handle is passed to a callee that may reopen the window, so
+// local pairing is not decidable and the prevent is not flagged.
+func escapes(t *core.Thread, fail bool) {
+	t.CheckpointPrevent(nil)
+	if fail {
+		reopen(t)
+		return
+	}
+	t.CheckpointAllow()
+}
+
+func reopen(t *core.Thread) { t.CheckpointAllow() }
+
+// waitPrevented: CondWait in the default (prevented) worker state is the
+// intended use.
+func waitPrevented(t *core.Thread, c *sync.Cond, mu sync.Locker, ready func() bool) {
+	for !ready() {
+		t.CondWait(c, mu)
+	}
+}
+
+// waitOpen reaches CondWait through an open window.
+func waitOpen(t *core.Thread, c *sync.Cond, mu sync.Locker) {
+	t.CheckpointAllow()
+	t.CondWait(c, mu) // want `CondWait reached inside an open CheckpointAllow window`
+}
+
+// maybeOpen: only one branch opens the window, but the may-analysis still
+// catches the join.
+func maybeOpen(t *core.Thread, c *sync.Cond, mu sync.Locker, b bool) {
+	if b {
+		t.CheckpointAllow()
+	}
+	t.CondWait(c, mu) // want `CondWait reached inside an open CheckpointAllow window`
+}
+
+// reclosed: Prevent closes the window before the wait, so the state is
+// clean again.
+func reclosed(t *core.Thread, c *sync.Cond, mu sync.Locker) {
+	t.CheckpointAllow()
+	work()
+	t.CheckpointPrevent(mu)
+	t.CondWait(c, mu)
+}
+
+// loopMayOpen: the back edge carries the open window into the wait.
+func loopMayOpen(t *core.Thread, c *sync.Cond, mu sync.Locker, n int) {
+	for i := 0; i < n; i++ {
+		t.CondWait(c, mu) // want `CondWait reached inside an open CheckpointAllow window`
+		work()
+		t.CheckpointAllow()
+	}
+	t.CheckpointPrevent(mu)
+}
+
+// suppressed: the caller is documented to reopen the window.
+func suppressed(t *core.Thread, fail bool) {
+	t.CheckpointPrevent(nil) //respct:allow preventpair — recovery driver reopens the window once replay finishes
+	if fail {
+		return
+	}
+	t.CheckpointAllow()
+}
+
+// litLeak: function literals get their own flow analysis.
+func litLeak(t *core.Thread) func(bool) {
+	return func(fail bool) {
+		t.CheckpointPrevent(nil) // want `CheckpointPrevent is not followed by CheckpointAllow on every return path`
+		if fail {
+			return
+		}
+		t.CheckpointAllow()
+	}
+}

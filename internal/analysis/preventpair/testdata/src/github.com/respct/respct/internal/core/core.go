@@ -1,0 +1,11 @@
+// Package core is a testdata stand-in declaring just the checkpoint
+// protocol surface preventpair matches on.
+package core
+
+import "sync"
+
+type Thread struct{}
+
+func (t *Thread) CheckpointPrevent(mu sync.Locker)      {}
+func (t *Thread) CheckpointAllow()                      {}
+func (t *Thread) CondWait(c *sync.Cond, mu sync.Locker) {}

@@ -1,0 +1,114 @@
+// Package rawstore defines an analyzer that flags raw pmem.Heap mutations
+// (Store64, StoreBytes, CAS64, Add64) in packages above the core runtime.
+//
+// ResPCT's recovery only restores state it knows about: every mutation of
+// tracked NVMM must flow through core.Thread.StoreTracked/Update (which log
+// and register the write) or be registered explicitly with
+// AddModified/AddModifiedRange under the same exclusion as the write. A raw
+// store that reaches neither path is silently absent from the next
+// checkpoint's flush, so recovery resurrects the pre-store bytes — the
+// single-untracked-store failure mode the paper's InCLL discipline exists to
+// prevent, which chaos crash soaks only catch probabilistically.
+//
+// internal/core and internal/pmem own the discipline and are exempt, as are
+// _test.go files (tests poke raw state deliberately). A raw store is also
+// accepted when the enclosing function later registers tracking with
+// AddModified/AddModifiedRange — the write-bytes-then-track-range idiom used
+// for string/byte payloads, where no word-wise StoreTracked equivalent
+// exists. Anything else needs a //respct:allow rawstore directive with a
+// justification (see internal/analysis/directive).
+package rawstore
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/respct/respct/internal/analysis/directive"
+	"github.com/respct/respct/internal/analysis/respctapi"
+)
+
+const doc = `flag raw pmem.Heap mutations above internal/core
+
+Callers above core must mutate tracked NVMM through Thread.StoreTracked or
+Thread.Update, or register raw writes with AddModified/AddModifiedRange in
+the same function; otherwise the next checkpoint never flushes the write and
+recovery silently loses it.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "rawstore",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	switch pass.Pkg.Path() {
+	case respctapi.CorePath, respctapi.PmemPath:
+		return nil, nil // these layers implement the discipline
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		method, ok := respctapi.IsRawHeapStore(pass, call)
+		if !ok || respctapi.IsTestFile(pass, call.Pos()) {
+			return true
+		}
+		if trackedAfter(pass, stack, call) {
+			return true
+		}
+		directive.Report(pass, call.Pos(),
+			"raw pmem.Heap.%s outside internal/core: use Thread.StoreTracked/Update, or register the write with AddModified/AddModifiedRange in this function (untracked stores are lost by recovery)",
+			method)
+		return true
+	})
+	return nil, nil
+}
+
+// trackedAfter reports whether the function enclosing call also calls
+// Thread.AddModified or Thread.AddModifiedRange at a later source position:
+// the raw store is then (claimed to be) covered by explicit tracking. The
+// check is positional, not path-sensitive — registering first and storing
+// after is still flagged, because under AsyncFlush the collision guard runs
+// at registration time and must precede overwrites of pre-existing words.
+func trackedAfter(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) bool {
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	tracked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() <= call.Pos() {
+			return true
+		}
+		if respctapi.IsThreadMethod(pass, c, "AddModified") ||
+			respctapi.IsThreadMethod(pass, c, "AddModifiedRange") {
+			tracked = true
+			return false
+		}
+		return true
+	})
+	return tracked
+}

@@ -1,0 +1,12 @@
+package rawstore_test
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/analysis/analyzertest"
+	"github.com/respct/respct/internal/analysis/rawstore"
+)
+
+func TestRawStore(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), rawstore.Analyzer, "a", "b")
+}

@@ -1,0 +1,73 @@
+// Package a exercises the rawstore analyzer: raw heap mutations outside
+// core, the tracked-after idiom, and suppression directives.
+package a
+
+import (
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+func bad(h *pmem.Heap, a pmem.Addr) {
+	h.Store64(a, 1)              // want `raw pmem\.Heap\.Store64 outside internal/core`
+	h.StoreBytes(a, []byte("x")) // want `raw pmem\.Heap\.StoreBytes outside internal/core`
+	if h.CAS64(a, 0, 1) {        // want `raw pmem\.Heap\.CAS64 outside internal/core`
+		_ = h.Add64(a, 2) // want `raw pmem\.Heap\.Add64 outside internal/core`
+	}
+}
+
+// trackedIdiom writes raw bytes and registers the range afterwards: the
+// store-then-AddModifiedRange idiom is accepted.
+func trackedIdiom(t *core.Thread, h *pmem.Heap, a pmem.Addr) {
+	h.Store64(a, 1)
+	h.StoreBytes(a+8, []byte("payload"))
+	t.AddModifiedRange(a, 16)
+}
+
+// trackedBefore registers first and stores after: still flagged, because
+// the async collision guard runs at registration time.
+func trackedBefore(t *core.Thread, h *pmem.Heap, a pmem.Addr) {
+	t.AddModifiedRange(a, 8)
+	h.Store64(a, 1) // want `raw pmem\.Heap\.Store64 outside internal/core`
+}
+
+func good(t *core.Thread, a pmem.Addr) {
+	t.StoreTracked(a, 1)
+	t.Update(a, 2)
+}
+
+// reads are not mutations and are never flagged.
+func reads(h *pmem.Heap, a pmem.Addr) uint64 {
+	return h.Load64(a)
+}
+
+func suppressedLine(h *pmem.Heap, a pmem.Addr) {
+	h.Store64(a, 1) //respct:allow rawstore — volatile scratch region, never consulted by recovery
+	//respct:allow rawstore — value is rewritten by recovery before first use
+	h.Store64(a+8, 2)
+}
+
+// suppressedFunc bypasses tracking for the whole function body.
+//
+//respct:allow rawstore — formatting path, the region is unreachable until the bump pointer persists
+func suppressedFunc(h *pmem.Heap, a pmem.Addr) {
+	h.Store64(a, 1)
+	h.Store64(a+8, 2)
+}
+
+func missingJustification(h *pmem.Heap, a pmem.Addr) {
+	h.Store64(a, 1) //respct:allow rawstore // want `needs a justification`
+}
+
+// closures are scanned like named functions, including the tracked-after
+// escape within the literal body only.
+func closures(t *core.Thread, h *pmem.Heap, a pmem.Addr) {
+	ok := func() {
+		h.Store64(a, 1)
+		t.AddModifiedRange(a, 8)
+	}
+	badLit := func() {
+		h.Store64(a, 1) // want `raw pmem\.Heap\.Store64 outside internal/core`
+	}
+	ok()
+	badLit()
+}

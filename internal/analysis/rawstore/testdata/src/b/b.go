@@ -1,0 +1,16 @@
+// Package b models a baseline implementation that bypasses tracking
+// wholesale with a file-scope directive.
+//
+//respct:allow rawstore — baseline persistence scheme flushes every store itself; ResPCT tracking does not apply
+package b
+
+import "github.com/respct/respct/internal/pmem"
+
+func Put(h *pmem.Heap, a pmem.Addr, v uint64) {
+	h.Store64(a, v)
+	h.StoreBytes(a+8, []byte("v"))
+}
+
+func Bump(h *pmem.Heap, a pmem.Addr) uint64 {
+	return h.Add64(a, 64)
+}

@@ -1,0 +1,19 @@
+// Package core is a testdata stand-in for the runtime layer. It calls raw
+// Heap mutators itself — core is exempt, so none of these may be flagged.
+package core
+
+import (
+	"sync"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+type Thread struct{ h *pmem.Heap }
+
+func (t *Thread) StoreTracked(a pmem.Addr, v uint64)      { t.h.Store64(a, v) }
+func (t *Thread) Update(a pmem.Addr, v uint64)            { t.h.Store64(a, v) }
+func (t *Thread) AddModified(a pmem.Addr)                 {}
+func (t *Thread) AddModifiedRange(a pmem.Addr, n uintptr) {}
+func (t *Thread) CheckpointPrevent(mu sync.Locker)        {}
+func (t *Thread) CheckpointAllow()                        {}
+func (t *Thread) CondWait(c *sync.Cond, mu sync.Locker)   {}

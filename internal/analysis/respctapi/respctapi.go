@@ -1,0 +1,94 @@
+// Package respctapi centralises how the respctvet analyzers recognise the
+// ResPCT runtime API in type-checked code: the pmem.Heap raw-access methods
+// and the core.Thread tracking/checkpoint-protocol methods. Matching is by
+// defining package path plus method name, so the analyzers work both on the
+// real tree and on analyzertest fixtures that re-declare the same packages
+// under testdata/src.
+package respctapi
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Import paths of the layers the discipline is defined against.
+const (
+	PmemPath      = "github.com/respct/respct/internal/pmem"
+	CorePath      = "github.com/respct/respct/internal/core"
+	TelemetryPath = "github.com/respct/respct/internal/telemetry"
+)
+
+// RawHeapMethods are the pmem.Heap mutators that bypass ResPCT tracking:
+// writes through them are invisible to checkpoint flushes unless the caller
+// registers them (StoreTracked/Update/AddModified*).
+var RawHeapMethods = map[string]bool{
+	"Store64":    true,
+	"StoreBytes": true,
+	"CAS64":      true,
+	"Add64":      true,
+}
+
+// Callee resolves the static callee of call, or nil.
+func Callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	return typeutil.StaticCallee(pass.TypesInfo, call)
+}
+
+// isMethodOf reports whether fn is a method with a receiver whose base named
+// type is pkgPath.typeName.
+func isMethodOf(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// IsRawHeapStore reports whether call is a raw pmem.Heap mutation
+// (Store64/StoreBytes/CAS64/Add64) and returns the method name.
+func IsRawHeapStore(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := Callee(pass, call)
+	if fn == nil || !RawHeapMethods[fn.Name()] {
+		return "", false
+	}
+	if !isMethodOf(fn, PmemPath, "Heap") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// IsThreadMethod reports whether call invokes the named method on
+// core.Thread.
+func IsThreadMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	fn := Callee(pass, call)
+	return fn != nil && fn.Name() == name && isMethodOf(fn, CorePath, "Thread")
+}
+
+// ThreadMethodName returns the method name if call invokes any method on
+// core.Thread.
+func ThreadMethodName(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := Callee(pass, call)
+	if fn == nil || !isMethodOf(fn, CorePath, "Thread") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. rawstore and
+// persistorder skip test files: tests legitimately poke raw heap state to
+// seed corruption and inspect persistent images.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

@@ -11,6 +11,8 @@
 // here: every update stresses the allocator, and some structures need extra
 // metadata maintained inside the critical section (the queue's global
 // sequence number).
+//
+//respct:allow rawstore — Montage-style COW baseline persists payload blocks under its own epoch/fence discipline; ResPCT tracking does not apply
 package cow
 
 import (

@@ -11,6 +11,8 @@
 //
 // Structural changes (inserting a record for a new key) flush the record
 // before linking it, so a recovered chain never dangles.
+//
+//respct:allow rawstore — Dalí baseline orders its in-line versions with its own PCSO flushes; bypasses ResPCT tracking by design
 package dali
 
 import (

@@ -9,6 +9,8 @@
 //
 // Node pointers are version-tagged (16-bit counter in the upper bits) so
 // recycled nodes cannot cause ABA.
+//
+//respct:allow rawstore — durable lock-free queue persists nodes and links explicitly (PPoPP'18 scheme); bypasses ResPCT tracking by design
 package friedman
 
 import (

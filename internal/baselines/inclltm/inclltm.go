@@ -12,6 +12,8 @@
 // The tag is a globally unique operation id (thread index and per-thread
 // sequence number); recovery rolls back cells whose tag belongs to an
 // operation that never committed.
+//
+//respct:allow rawstore — Trinity/Quadra-style baseline does its own in-cache-line logging and per-operation durable commit
 package inclltm
 
 import (

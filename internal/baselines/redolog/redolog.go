@@ -8,6 +8,8 @@
 // buffered stores are applied to their home locations and flushed, and the
 // log is truncated. Recovery re-applies committed, non-truncated logs
 // forwards and discards uncommitted ones.
+//
+//respct:allow rawstore — redo-log baseline replays its persistent redo log on recovery; bypasses ResPCT tracking by design
 package redolog
 
 import (

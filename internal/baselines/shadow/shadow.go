@@ -20,6 +20,8 @@
 // The DRAM working copy is itself a simulated heap (pmem with DRAM
 // latencies) so that every system in the comparison pays the same
 // simulated-memory cost per access.
+//
+//respct:allow rawstore — PMThreads-style twin baseline copies dirty words to the twins at epoch boundaries itself; bypasses ResPCT tracking by design
 package shadow
 
 import (

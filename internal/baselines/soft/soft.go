@@ -14,6 +14,8 @@
 // (the part that dominates the paper's workloads where SOFT shines) is
 // faithful. Unlinked index nodes are not recycled, so lock-free readers can
 // never wander into a reused node.
+//
+//respct:allow rawstore — SOFT baseline persists nodes with validity flags and explicit fences; bypasses ResPCT tracking by design
 package soft
 
 import (

@@ -14,6 +14,8 @@
 // write-after-read words are logged — write-only words (fields of freshly
 // allocated nodes) skip the log entirely and are only flushed at operation
 // end, which removes most of the log traffic.
+//
+//respct:allow rawstore — undo-log baseline is its own failure-atomicity scheme: every store is guarded by a persisted undo record
 package undolog
 
 import (

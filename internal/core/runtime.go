@@ -62,9 +62,10 @@ type Config struct {
 	MetricsLabels telemetry.Labels
 }
 
+//respct:linefit
 type flagSlot struct {
-	v atomic.Bool
-	_ [63]byte // avoid false sharing between per-thread flags
+	v atomic.Bool // 4 bytes: atomic.Bool wraps a uint32
+	_ [60]byte    // pad to exactly one line; adjacent slots must not share
 }
 
 // CheckpointInfo describes one completed checkpoint. Under AsyncFlush,

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// boundaryAddr returns an address inside the rawWords-word region at p whose
+// 16-byte span [a, a+16) crosses a 64-byte line boundary (a ≡ 56 mod 64).
+func boundaryAddr(t *testing.T, p pmem.Addr, rawWords int) pmem.Addr {
+	t.Helper()
+	for a := p; a+16 <= p+pmem.Addr(rawWords*8); a += 8 {
+		if a%pmem.LineSize == pmem.LineSize-8 {
+			return a
+		}
+	}
+	t.Fatalf("no boundary-crossing address in %d words at %#x", rawWords, p)
+	return 0
+}
+
+// TestAddModifiedRangeCrossesLine verifies that a range straddling a
+// 64-byte boundary registers BOTH overlapped lines for flushing — losing
+// the second line would silently drop its bytes from the next checkpoint.
+func TestAddModifiedRangeCrossesLine(t *testing.T) {
+	rt := newTestRuntime(t, 1, 0)
+	th := rt.Thread(0)
+	p := rt.Arena().AllocRaw(th, 32)
+	a := boundaryAddr(t, p, 32)
+
+	n0 := len(th.toFlush)
+	th.AddModifiedRange(a, 16)
+	added := th.toFlush[n0:]
+	if len(added) != 2 {
+		t.Fatalf("AddModifiedRange(%#x, 16) registered %d lines %v, want 2", a, len(added), added)
+	}
+	wantFirst := pmem.LineAddr(pmem.LineOf(a))
+	wantSecond := pmem.LineAddr(pmem.LineOf(a + 15))
+	if wantFirst == wantSecond {
+		t.Fatalf("test bug: range does not cross a line (a=%#x)", a)
+	}
+	if added[0] != wantFirst || added[1] != wantSecond {
+		t.Fatalf("registered lines %v, want [%#x %#x]", added, wantFirst, wantSecond)
+	}
+
+	// A line-aligned single-line range registers exactly one line.
+	aligned := pmem.LineAddr(pmem.LineOf(a) + 2)
+	n0 = len(th.toFlush)
+	th.AddModifiedRange(aligned, pmem.LineSize)
+	if added := th.toFlush[n0:]; len(added) != 1 || added[0] != aligned {
+		t.Fatalf("aligned full-line range registered %v, want [%#x]", added, aligned)
+	}
+	// One byte more spills into a second line.
+	n0 = len(th.toFlush)
+	th.AddModifiedRange(aligned, pmem.LineSize+1)
+	if added := th.toFlush[n0:]; len(added) != 2 {
+		t.Fatalf("LineSize+1 range registered %v, want 2 lines", added)
+	}
+}
+
+// TestAddModifiedRangeCrossLineDurable drives the idiom end to end: raw
+// bytes written across a boundary and registered with AddModifiedRange must
+// be durable in the persistent image after the checkpoint — both halves.
+func TestAddModifiedRangeCrossLineDurable(t *testing.T) {
+	rt := newTestRuntime(t, 1, 0)
+	th := rt.Thread(0)
+	h := rt.Heap()
+	p := rt.Arena().AllocRaw(th, 32)
+	a := boundaryAddr(t, p, 32)
+
+	payload := []byte("0123456789abcdef") // 8 bytes per side of the boundary
+	h.StoreBytes(a, payload)
+	th.AddModifiedRange(a, len(payload))
+
+	th.CheckpointAllow()
+	rt.Checkpoint()
+	th.CheckpointPrevent(nil)
+
+	if got, want := h.LoadPersistent64(a), h.Load64(a); got != want {
+		t.Fatalf("first line's word not durable: persistent %#x, volatile %#x", got, want)
+	}
+	if got, want := h.LoadPersistent64(a+8), h.Load64(a+8); got != want {
+		t.Fatalf("second line's word not durable: persistent %#x, volatile %#x", got, want)
+	}
+}
+
+// TestAddModifiedRangeCrossLineAsyncDirtyBits checks the AsyncFlush path:
+// registration must mark BOTH lines dirty in the active pending bitmap at
+// tracking time (the cut swaps bitmaps instead of walking addresses, so a
+// line missing here is a line the drain never flushes).
+func TestAddModifiedRangeCrossLineAsyncDirtyBits(t *testing.T) {
+	h := pmem.New(pmem.Config{Size: 8 << 20})
+	rt, err := NewRuntime(h, Config{Threads: 1, AsyncFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.Thread(0)
+	p := rt.Arena().AllocRaw(th, 32)
+	a := boundaryAddr(t, p, 32)
+
+	th.AddModifiedRange(a, 16)
+
+	bits := rt.pendingBits[rt.activeBits.Load()]
+	for _, line := range []int{pmem.LineOf(a), pmem.LineOf(a + 15)} {
+		if bits[line/64].Load()&(1<<(uint(line)%64)) == 0 {
+			t.Fatalf("line %d (of boundary-crossing range at %#x) not marked dirty in active bitmap", line, a)
+		}
+	}
+}

@@ -148,52 +148,63 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) worker(w int) {
 	defer s.wg.Done()
-	var th *core.Thread
 	if ia, ok := s.store.(idleAware); ok {
-		th = ia.Runtime().Thread(w)
+		s.checkpointWorker(w, ia.Runtime().Thread(w))
+		return
 	}
+	for req := range s.dispatch {
+		s.handleReq(w, req)
+	}
+}
+
+// checkpointWorker is the idle-aware variant of worker: the runtime thread
+// opens an allow window across the blocking receive and closes it for the
+// duration of each operation. It is kept free of nil-guards so the
+// Prevent/Allow pairing holds on every path: exiting on channel close
+// leaves the window open (the thread is done and must not gate future
+// checkpoints), and every other path loops back through CheckpointAllow.
+func (s *Server) checkpointWorker(w int, th *core.Thread) {
 	for {
-		if th != nil {
-			th.CheckpointAllow()
-		}
+		th.CheckpointAllow()
 		req, ok := <-s.dispatch
-		if th != nil {
-			th.CheckpointPrevent(nil)
-		}
 		if !ok {
-			if th != nil {
-				th.CheckpointAllow()
-			}
 			return
 		}
-		var start time.Time
-		if s.met != nil {
-			start = time.Now()
-		}
-		var resp response
+		th.CheckpointPrevent(nil)
+		s.handleReq(w, req)
+	}
+}
+
+// handleReq executes one request and replies, recording per-op telemetry
+// when enabled.
+func (s *Server) handleReq(w int, req request) {
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
+	var resp response
+	switch req.op {
+	case 's':
+		s.store.Set(w, req.key, req.value)
+		resp.found = true
+	case 'g':
+		resp.value, resp.found = s.store.Get(w, req.key)
+	case 'd':
+		resp.found = s.store.Delete(w, req.key)
+	}
+	s.store.PerOp(w)
+	if s.met != nil {
+		d := time.Since(start)
 		switch req.op {
 		case 's':
-			s.store.Set(w, req.key, req.value)
-			resp.found = true
+			s.met.setNs.ObserveDuration(w, d)
 		case 'g':
-			resp.value, resp.found = s.store.Get(w, req.key)
+			s.met.getNs.ObserveDuration(w, d)
 		case 'd':
-			resp.found = s.store.Delete(w, req.key)
+			s.met.delNs.ObserveDuration(w, d)
 		}
-		s.store.PerOp(w)
-		if s.met != nil {
-			d := time.Since(start)
-			switch req.op {
-			case 's':
-				s.met.setNs.ObserveDuration(w, d)
-			case 'g':
-				s.met.getNs.ObserveDuration(w, d)
-			case 'd':
-				s.met.delNs.ObserveDuration(w, d)
-			}
-		}
-		req.reply <- resp
 	}
+	req.reply <- resp
 }
 
 // protoErr counts one malformed client command when telemetry is on.

@@ -226,6 +226,8 @@ func NewTransientStore(h *pmem.Heap) *TransientStore {
 
 // record: [keyLen|valLen, key..., val...]; collisions resolved by open
 // addressing over the 64-bit hash (second slot = hash+1, vanishingly rare).
+//
+//respct:allow rawstore — transient store: records have no fault tolerance and are rebuilt, never recovered
 func (s *TransientStore) write(rec pmem.Addr, key string, value []byte) {
 	s.h.Store64(rec, uint64(len(key))<<32|uint64(len(value)))
 	s.h.StoreBytes(rec+8, []byte(key))

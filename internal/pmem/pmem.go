@@ -145,13 +145,16 @@ type Heap struct {
 	rng   *rand.Rand
 }
 
+//respct:linefit
 type lineMutex struct {
 	mu sync.Mutex
-	_  [40]byte // pad to a cache line to avoid false sharing between stripes
+	_  [56]byte // pad to a cache line to avoid false sharing between stripes
 }
 
 // New creates a heap of cfg.Size bytes with a zeroed persistent image and an
 // initialised superblock (magic + size) in both images.
+//
+//respct:allow atomicmix — construction-time stores: the heap is not shared until New returns
 func New(cfg Config) *Heap {
 	if cfg.Size < LineSize*(superblockLines+rootLines+1) {
 		cfg.Size = LineSize * (superblockLines + rootLines + 64)

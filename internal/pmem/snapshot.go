@@ -44,6 +44,8 @@ func (h *Heap) Snapshot(w io.Writer) error {
 // persistent image is the snapshot and whose volatile image is freshly
 // booted from it — i.e. the post-reboot view. The cfg's Size is overridden
 // by the snapshot's size.
+//
+//respct:allow atomicmix — boot-time image fill: the heap is not shared until Open returns
 func Open(r io.Reader, cfg Config) (*Heap, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [8]byte

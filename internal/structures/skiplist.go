@@ -260,6 +260,7 @@ func (s *TransientSkipList) next(n pmem.Addr, lvl int) pmem.Addr {
 	return pmem.Addr(s.h.Load64(n + pmem.Addr(8+lvl*8)))
 }
 
+//respct:allow rawstore — transient skiplist: no fault tolerance, region discarded on restart
 func (s *TransientSkipList) setNext(n pmem.Addr, lvl int, v pmem.Addr) {
 	if n == pmem.NilAddr {
 		s.head[lvl] = v
@@ -292,6 +293,8 @@ func (s *TransientSkipList) find(keyv uint64, preds *[skipMaxLevel]pmem.Addr) pm
 }
 
 // Insert implements SortedMap.
+//
+//respct:allow rawstore — transient skiplist: no fault tolerance, region discarded on restart
 func (s *TransientSkipList) Insert(_ int, key, value uint64) bool {
 	if key == 0 {
 		panic("structures: skiplist key 0 is reserved")
@@ -327,6 +330,8 @@ func (s *TransientSkipList) Insert(_ int, key, value uint64) bool {
 }
 
 // Remove implements SortedMap.
+//
+//respct:allow rawstore — transient skiplist: no fault tolerance, region discarded on restart
 func (s *TransientSkipList) Remove(_ int, key uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()

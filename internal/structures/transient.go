@@ -1,3 +1,4 @@
+//respct:allow rawstore — transient flavours have no fault-tolerance logic by design (the paper's Transient baselines); their region is discarded on restart, never recovered
 package structures
 
 import (

@@ -15,6 +15,8 @@ const Shards = 16
 
 // counterSlot pads one writer's count to a cache line so that writers on
 // different slots never false-share.
+//
+//respct:linefit
 type counterSlot struct {
 	v atomic.Uint64
 	_ [56]byte
