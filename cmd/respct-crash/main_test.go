@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/respct/respct/internal/crashexplore"
+)
+
+// The regression this guards: a soak child killed by an unexpected signal
+// used to be indistinguishable from (and folded into) an ordinary run, so
+// the suite could exit 0 with no durability verdict at all. Signal deaths
+// must classify as their own, highest-severity class.
+func TestClassifySignalDeath(t *testing.T) {
+	err := exec.Command("/bin/sh", "-c", "kill -TERM $$").Run()
+	if err == nil {
+		t.Fatal("expected the self-killing child to report an error")
+	}
+	c, why := classify(err, false)
+	if c != classSignal {
+		t.Fatalf("classify = %v (%s), want classSignal", c, why)
+	}
+	if !strings.Contains(why, "terminated") {
+		t.Errorf("classification should name the signal, got %q", why)
+	}
+	if c.exitCode() != exitSignal {
+		t.Errorf("exit code = %d, want %d", c.exitCode(), exitSignal)
+	}
+}
+
+func TestClassifyPlainFailure(t *testing.T) {
+	err := exec.Command("/bin/sh", "-c", "exit 7").Run()
+	c, why := classify(err, false)
+	if c != classFailure {
+		t.Fatalf("classify = %v (%s), want classFailure", c, why)
+	}
+	if c.exitCode() != exitSoakFailure {
+		t.Errorf("exit code = %d, want %d", c.exitCode(), exitSoakFailure)
+	}
+}
+
+func TestClassifyTimeoutBeatsKillSignal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := exec.CommandContext(ctx, "/bin/sh", "-c", "sleep 60").Run()
+	if err == nil {
+		t.Fatal("expected the deadline to kill the child")
+	}
+	// The raw error says SIGKILL; the supervisor knows the deadline fired
+	// and must classify it as a timeout, not a spontaneous signal death.
+	c, _ := classify(err, ctx.Err() != nil)
+	if c != classTimeout {
+		t.Fatalf("classify = %v, want classTimeout", c)
+	}
+	if c.exitCode() != exitTimeout {
+		t.Errorf("exit code = %d, want %d", c.exitCode(), exitTimeout)
+	}
+}
+
+func TestClassifyOK(t *testing.T) {
+	if c, _ := classify(nil, false); c != classOK || c.exitCode() != exitOK {
+		t.Fatalf("classify(nil) = %v", c)
+	}
+}
+
+func TestSeverityOrder(t *testing.T) {
+	// supervise folds classes with max(); the iota order is the contract.
+	if !(classOK < classFailure && classFailure < classTimeout && classTimeout < classSignal) {
+		t.Fatal("exit classes are not ordered by severity")
+	}
+}
+
+// End-to-end over the real modes: explore the seeded known-bad workload,
+// pick up the minimized repro, and replay it through the CLI path.
+func TestExploreAndReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if code := runExplore("map-sync-badcommit", 0, dir); code != exitSoakFailure {
+		t.Fatalf("runExplore(map-sync-badcommit) = %d, want %d", code, exitSoakFailure)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one repro file, got %v (err %v)", matches, err)
+	}
+	if code := runReplay(matches[0]); code != exitSoakFailure {
+		t.Errorf("runReplay(%s) = %d, want %d (violation must reproduce)", matches[0], code, exitSoakFailure)
+	}
+
+	if code := runExplore("map-tiny", 0, dir); code != exitOK {
+		t.Errorf("runExplore(map-tiny) = %d, want %d", code, exitOK)
+	}
+	if code := runExplore("no-such-workload", 0, ""); code != exitUsage {
+		t.Errorf("runExplore(unknown) = %d, want %d", code, exitUsage)
+	}
+	if code := runReplay(filepath.Join(dir, "missing.json")); code != exitUsage {
+		t.Errorf("runReplay(missing file) = %d, want %d", code, exitUsage)
+	}
+}
+
+// A repro must stay replayable across processes, not just within the test
+// binary: Load must fully reconstruct the schedule from the file.
+func TestReproFileIsSelfContained(t *testing.T) {
+	dir := t.TempDir()
+	w, err := crashexplore.Lookup("map-sync-badcommit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := crashexplore.Explore(w, crashexplore.Options{ReproDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := crashexplore.Load(rep.ReproPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := crashexplore.Replay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence == "" {
+		t.Fatal("loaded repro did not reproduce the violation")
+	}
+}

@@ -1,7 +1,8 @@
-// Command respctvet is the ResPCT crash-consistency vet tool: five
+// Command respctvet is the ResPCT crash-consistency vet tool: six
 // go/analysis analyzers that prove the tracking, checkpoint-protocol,
-// persist-ordering, atomic-discipline and cache-line-size invariants at
-// compile time instead of relying on crash soaks to hit them.
+// persist-ordering, atomic-discipline, cache-line-size and godoc-coverage
+// invariants at compile time instead of relying on crash soaks (or code
+// review) to hit them.
 //
 // It speaks the go vet unitchecker protocol, so the supported invocation is
 // through the go command, which drives it package by package with facts
@@ -19,6 +20,7 @@ import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"github.com/respct/respct/internal/analysis/atomicmix"
+	"github.com/respct/respct/internal/analysis/exportdoc"
 	"github.com/respct/respct/internal/analysis/linefit"
 	"github.com/respct/respct/internal/analysis/persistorder"
 	"github.com/respct/respct/internal/analysis/preventpair"
@@ -32,5 +34,6 @@ func main() {
 		persistorder.Analyzer,
 		atomicmix.Analyzer,
 		linefit.Analyzer,
+		exportdoc.Analyzer,
 	)
 }

@@ -12,6 +12,10 @@
 // Each backquoted or double-quoted token after "want" is a regular
 // expression that must match exactly one diagnostic on that line, and every
 // diagnostic must be matched by an expectation.
+//
+// Expectations are collected when a package is loaded and then stripped
+// from the syntax trees, so an analyzer that assigns meaning to comments
+// (exportdoc treats a trailing comment as documentation) never sees them.
 package analyzertest
 
 import (
@@ -78,6 +82,7 @@ type loadedPkg struct {
 	fileName []string
 	pkg      *types.Package
 	info     *types.Info
+	wants    []*expectation
 	diags    []analysis.Diagnostic
 	analyzed map[*analysis.Analyzer]bool
 }
@@ -132,6 +137,8 @@ func (h *harness) load(path string) *loadedPkg {
 		}
 		p.files = append(p.files, f)
 		p.fileName = append(p.fileName, name)
+		p.wants = append(p.wants, h.collectWants(f)...)
+		stripWants(f)
 	}
 	info := &types.Info{
 		Types:        make(map[ast.Expr]types.TypeAndValue),
@@ -246,39 +253,68 @@ type expectation struct {
 // wantRx matches one quoted or backquoted expectation token.
 var wantRx = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
 
-// check compares p's collected diagnostics with its // want expectations.
-func (h *harness) check(p *loadedPkg) {
-	h.t.Helper()
+// isWant reports whether a comment is a // want expectation.
+func isWant(text string) bool {
+	return strings.HasPrefix(strings.TrimLeft(strings.TrimPrefix(text, "//"), " \t"), "want ")
+}
+
+// collectWants parses f's // want expectations.
+func (h *harness) collectWants(f *ast.File) []*expectation {
 	var wants []*expectation
-	for _, f := range p.files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := c.Text
-				i := strings.Index(text, "want ")
-				if i < 0 || !strings.HasPrefix(strings.TrimLeft(strings.TrimPrefix(text, "//"), " \t"), "want ") {
-					continue
-				}
-				pos := h.fset.Position(c.Pos())
-				for _, tok := range wantRx.FindAllString(text[i+len("want "):], -1) {
-					var pattern string
-					if tok[0] == '`' {
-						pattern = tok[1 : len(tok)-1]
-					} else {
-						var err error
-						pattern, err = strconv.Unquote(tok)
-						if err != nil {
-							h.t.Fatalf("%s: bad want token %s: %v", pos, tok, err)
-						}
-					}
-					re, err := regexp.Compile(pattern)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !isWant(text) {
+				continue
+			}
+			i := strings.Index(text, "want ")
+			pos := h.fset.Position(c.Pos())
+			for _, tok := range wantRx.FindAllString(text[i+len("want "):], -1) {
+				var pattern string
+				if tok[0] == '`' {
+					pattern = tok[1 : len(tok)-1]
+				} else {
+					var err error
+					pattern, err = strconv.Unquote(tok)
 					if err != nil {
-						h.t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+						h.t.Fatalf("%s: bad want token %s: %v", pos, tok, err)
 					}
-					wants = append(wants, &expectation{pos.Filename, pos.Line, re, pattern})
 				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					h.t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+				}
+				wants = append(wants, &expectation{pos.Filename, pos.Line, re, pattern})
 			}
 		}
 	}
+	return wants
+}
+
+// stripWants removes want comments from f so the analyzer under test never
+// sees them. Groups are filtered in place (node-attached Doc/Comment groups
+// alias the same slices), and groups left empty drop out of f.Comments.
+func stripWants(f *ast.File) {
+	var keep []*ast.CommentGroup
+	for _, cg := range f.Comments {
+		list := cg.List[:0]
+		for _, c := range cg.List {
+			if !isWant(c.Text) {
+				list = append(list, c)
+			}
+		}
+		cg.List = list
+		if len(list) > 0 {
+			keep = append(keep, cg)
+		}
+	}
+	f.Comments = keep
+}
+
+// check compares p's collected diagnostics with its // want expectations.
+func (h *harness) check(p *loadedPkg) {
+	h.t.Helper()
+	wants := p.wants
 
 	sort.Slice(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
 	for _, d := range p.diags {

@@ -1,0 +1,221 @@
+// Package exportdoc defines an analyzer that enforces complete godoc
+// coverage in packages that opt in.
+//
+// The crash-consistency kernel's API comments are load-bearing: whether a
+// caller must pair a store with AddModified, what a method may do inside a
+// CheckpointPrevent window, which order a flush and a commit must take —
+// none of that is visible in a signature. An undocumented export in
+// internal/pmem or internal/core is therefore not a style nit but a missing
+// piece of the failure-model contract (docs/FAILURE-MODEL.md), so the
+// discipline is enforced at vet time rather than by review.
+//
+// A package opts in by carrying, in any of its files, a comment above the
+// package clause:
+//
+//	//respct:exportdoc
+//
+// In an opted-in package every exported identifier must be documented:
+// functions, types, consts and vars need a doc comment; methods whose
+// receiver type is itself exported need one too; exported struct fields and
+// interface methods of exported types accept either a doc comment or a
+// trailing line comment. A doc comment on a grouped const/var declaration
+// covers the whole group. Test files are exempt.
+//
+// Genuinely self-describing exceptions are suppressed the usual way:
+//
+//	//respct:allow exportdoc — <why no comment is needed>
+package exportdoc
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/respct/respct/internal/analysis/directive"
+)
+
+const doc = `check that //respct:exportdoc packages document every export
+
+In a package opted in with a //respct:exportdoc comment above any package
+clause, every exported identifier — including methods on exported receivers,
+struct fields and interface methods — must carry a doc comment (fields and
+interface methods may use a trailing comment instead). The kernel's doc
+comments carry crash-ordering obligations a signature cannot express.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "exportdoc",
+	Doc:  doc,
+	Run:  run,
+}
+
+const marker = "respct:exportdoc"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !optedIn(pass) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, decl)
+			case *ast.GenDecl:
+				checkGenDecl(pass, decl)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// optedIn reports whether any file of the package carries the
+// //respct:exportdoc marker above its package clause.
+func optedIn(pass *analysis.Pass) bool {
+	for _, f := range pass.Files {
+		pkgLine := pass.Fset.Position(f.Package).Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if pass.Fset.Position(c.Pos()).Line > pkgLine {
+					break
+				}
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == marker || strings.HasPrefix(text, marker+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.File(f.Pos()).Name(), "_test.go")
+}
+
+// documented reports whether any of the comment groups has content.
+func documented(groups ...*ast.CommentGroup) bool {
+	for _, cg := range groups {
+		if cg != nil && strings.TrimSpace(cg.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc flags an undocumented exported function, or an undocumented
+// exported method on an exported receiver type.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || documented(fd.Doc) {
+		return
+	}
+	kind := "function"
+	if fd.Recv != nil {
+		recv := receiverTypeName(fd.Recv)
+		if recv == "" || !ast.IsExported(recv) {
+			return // method on an unexported type: invisible in godoc
+		}
+		kind = "method"
+	}
+	directive.Report(pass, fd.Name.Pos(),
+		"exported %s %s has no doc comment: document it, including any crash-ordering obligations it places on callers",
+		kind, fd.Name.Name)
+}
+
+// receiverTypeName returns the base type name of a method receiver,
+// stripping pointers and type parameters.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func checkGenDecl(pass *analysis.Pass, decl *ast.GenDecl) {
+	switch decl.Tok {
+	case token.TYPE:
+		for _, spec := range decl.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			if !documented(decl.Doc, ts.Doc, ts.Comment) {
+				directive.Report(pass, ts.Name.Pos(),
+					"exported type %s has no doc comment: document it, including any crash-ordering obligations it carries",
+					ts.Name.Name)
+			}
+			checkTypeMembers(pass, ts)
+		}
+	case token.CONST, token.VAR:
+		// A doc comment on the grouped declaration covers every spec in
+		// it — the godoc convention for enum blocks.
+		groupDoc := documented(decl.Doc)
+		for _, spec := range decl.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if groupDoc || documented(vs.Doc, vs.Comment) {
+				continue
+			}
+			for _, name := range vs.Names {
+				if !name.IsExported() {
+					continue
+				}
+				word := "const"
+				if decl.Tok == token.VAR {
+					word = "var"
+				}
+				directive.Report(pass, name.Pos(),
+					"exported %s %s has no doc comment", word, name.Name)
+			}
+		}
+	}
+}
+
+// checkTypeMembers flags undocumented exported struct fields and interface
+// methods of an exported type. Either a doc comment or a trailing line
+// comment satisfies the check; embedded fields are exempt (their docs live
+// on the embedded type).
+func checkTypeMembers(pass *analysis.Pass, ts *ast.TypeSpec) {
+	switch t := ts.Type.(type) {
+	case *ast.StructType:
+		for _, field := range t.Fields.List {
+			if documented(field.Doc, field.Comment) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.IsExported() {
+					directive.Report(pass, name.Pos(),
+						"exported field %s.%s has no doc comment", ts.Name.Name, name.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if documented(m.Doc, m.Comment) {
+				continue
+			}
+			for _, name := range m.Names {
+				if name.IsExported() {
+					directive.Report(pass, name.Pos(),
+						"exported interface method %s.%s has no doc comment", ts.Name.Name, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package exportdoc_test
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/analysis/analyzertest"
+	"github.com/respct/respct/internal/analysis/exportdoc"
+)
+
+func TestExportDoc(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), exportdoc.Analyzer, "a", "b")
+}

@@ -1,0 +1,74 @@
+//respct:exportdoc
+
+// Package a exercises the exportdoc analyzer: opted-in package, every
+// flavour of exported identifier, trailing-comment fields, grouped decls,
+// methods on unexported receivers, and suppression.
+package a
+
+// Documented is a documented exported type.
+type Documented struct {
+	// Field carries a doc comment.
+	Field int
+
+	Trailing int // trailing comments satisfy the check for fields
+
+	missing int
+	Naked   int // want `exported field Documented.Naked has no doc comment`
+
+	Together, Apart int // want `exported field Documented.Together has no doc comment` `exported field Documented.Apart has no doc comment`
+}
+
+type Bare struct{} // want `exported type Bare has no doc comment`
+
+// Iface is a documented interface.
+type Iface interface {
+	// Documented has a doc comment.
+	Documented()
+
+	Trailing() // trailing comments work here too
+
+	Naked() // want `exported interface method Iface.Naked has no doc comment`
+}
+
+// Fn is documented.
+func Fn() {}
+
+func Undocumented() {} // want `exported function Undocumented has no doc comment`
+
+func internal() {}
+
+// Method is documented.
+func (Documented) Method() {}
+
+func (Documented) Loose() {} // want `exported method Loose has no doc comment`
+
+type hidden struct{}
+
+// methods on unexported receivers are invisible in godoc: exempt.
+func (hidden) Exported() {}
+
+// Grouped consts: a doc comment on the block covers every member.
+const (
+	BlockA = 1
+	BlockB = 2
+)
+
+const (
+	LooseConst = 3 // want `exported const LooseConst has no doc comment`
+
+	// PerSpec doc comments also work.
+	PerSpec = 4
+
+	InlineConst = 5 // trailing comment satisfies the check
+)
+
+var Global int // want `exported var Global has no doc comment`
+
+// Vars with decl docs are fine.
+var Covered int
+
+//respct:allow exportdoc — self-describing re-export kept bare on purpose
+func Suppressed() {}
+
+var _ = internal
+var _ = hidden{}

@@ -1,0 +1,6 @@
+// Package b is NOT opted in: undocumented exports are fine here.
+package b
+
+type Whatever struct{ Field int }
+
+func Undocumented() {}

@@ -404,10 +404,10 @@ func (a *Arena) allocRPCell(sys *Thread, i int) (InCLL, error) {
 
 // ArenaStats reports allocator activity and occupancy.
 type ArenaStats struct {
-	Allocs uint64
-	Frees  uint64
-	Carves uint64
-	Used   int64 // bytes between data base and bump cursor
+	Allocs uint64 // blocks handed out (free-list pops + carves)
+	Frees  uint64 // blocks returned to a free list
+	Carves uint64 // blocks carved fresh from the bump region
+	Used   int64  // bytes between data base and bump cursor
 }
 
 // Stats returns a snapshot of allocator counters.

@@ -114,6 +114,7 @@ func (rt *Runtime) cutAsync(ending uint64, start, gateDone time.Time) Checkpoint
 	// Arm the collision log for this drain window: guard epoch = ending,
 	// count = 0, durable before any worker can run in N+1 and append to it.
 	h := rt.heap
+	h.Annotate("collision-arm", ending)
 	hdr := rt.arena.collHdrAddr()
 	h.Store64(hdr, ending)
 	h.Store64(hdr+8, 0)
@@ -192,6 +193,7 @@ func (j *drainJob) run() {
 	// dead), so the durable cut may advance.
 	h := rt.heap
 	newEpoch := j.ending + 1
+	h.Annotate("epoch-commit", newEpoch)
 	h.Store64(h.EpochAddr(), newEpoch)
 	rt.commitFlusher.Persist(h.EpochAddr())
 	rt.durableEpoch.Store(newEpoch)
@@ -340,6 +342,7 @@ func (rt *Runtime) logCollision(a pmem.Addr, val uint64) {
 		}
 		if rt.collCount < collLogEntries {
 			h := rt.heap
+			h.Annotate("collision-append", uint64(a))
 			ent := rt.arena.collEntryAddr(rt.collCount)
 			h.Store64(ent, uint64(a))
 			h.Store64(ent+8, val)

@@ -1,3 +1,5 @@
+//respct:exportdoc
+
 // Package core implements ResPCT (EuroSys 2022): checkpoint-based fault
 // tolerance for multi-threaded programs on non-volatile main memory, built
 // on In-Cache-Line Logging (InCLL) and programmer-positioned Restart Points.

@@ -11,18 +11,18 @@ import (
 
 // RecoveryReport describes what a recovery pass did.
 type RecoveryReport struct {
-	FailedEpoch     uint64
-	BlocksScanned   int
-	CellsScanned    int
-	CellsRolledBack int
-	Duration        time.Duration
+	FailedEpoch     uint64        // epoch the crash interrupted, read from the persistent counter
+	BlocksScanned   int           // allocated blocks visited by the cell scan
+	CellsScanned    int           // InCLL cells examined
+	CellsRolledBack int           // cells whose tag matched the failed epoch and were rolled back
+	Duration        time.Duration // wall time of the recovery pass
 
 	// DrainInterrupted reports that the crash hit inside an async drain
 	// window (the collision-log guard epoch equals the failed epoch):
 	// recovery also rolled back cells tagged failedEpoch+1 and applied
 	// CollisionsApplied entries from the collision log.
 	DrainInterrupted  bool
-	CollisionsApplied int
+	CollisionsApplied int // collision-log entries re-applied after the rollback scan
 
 	// FlightEvents is the tail of the persistent flight recorder as it
 	// survived the crash, oldest first — the runtime's final checkpoints,

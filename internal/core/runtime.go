@@ -83,12 +83,12 @@ type CheckpointInfo struct {
 
 // RuntimeStats aggregates checkpoint activity.
 type RuntimeStats struct {
-	Checkpoints uint64
-	AddrsSeen   uint64
-	LinesWrote  uint64
-	GateWait    time.Duration
-	FlushTime   time.Duration
-	TotalPause  time.Duration
+	Checkpoints uint64        // completed checkpoints (epochs ended)
+	AddrsSeen   uint64        // tracked addresses drained across all checkpoints
+	LinesWrote  uint64        // unique cache lines written back across all checkpoints
+	GateWait    time.Duration // total time spent waiting for workers to park
+	FlushTime   time.Duration // total time spent in checkpoint flush phases
+	TotalPause  time.Duration // total worker-visible checkpoint pause
 
 	// Async-mode counters (zero in synchronous mode).
 	Drains           uint64        // background drains committed
@@ -148,6 +148,12 @@ type Runtime struct {
 	// quiescedHook, when set, runs while all threads are parked, before
 	// flush_modified. Crash tests use it to certify logical snapshots.
 	quiescedHook func(endingEpoch uint64)
+
+	// faultCommitFirst, when set, makes synchronous checkpoints persist the
+	// epoch counter before draining the flush lists — a deliberate protocol
+	// violation installed only by SetCommitBeforeFlushFault for durability-
+	// checker tests.
+	faultCommitFirst bool
 
 	nCheckpoints   atomic.Uint64
 	statAddrs      atomic.Uint64
@@ -262,6 +268,7 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 	}
 	rt.sys.toFlush = rt.sys.toFlush[:0]
 	rt.sysFlusher.SFence()
+	h.Annotate("epoch-commit", 2)
 	h.Store64(h.EpochAddr(), 2)
 	rt.epochCache.Store(2)
 	rt.durableEpoch.Store(2)
@@ -385,6 +392,16 @@ func (rt *Runtime) ExclusiveSys(f func(sys *Thread)) {
 // parked, before modified data is flushed. Pass nil to clear. Not safe to
 // call concurrently with checkpoints.
 func (rt *Runtime) SetQuiescedHook(f func(endingEpoch uint64)) { rt.quiescedHook = f }
+
+// SetCommitBeforeFlushFault installs (on) or clears a deliberate protocol
+// fault for testing the durability checker: while set, a synchronous
+// checkpoint persists the incremented epoch counter *before* draining the
+// flush lists, so a crash landing between the commit write-back and the
+// payload flush recovers to a checkpoint whose data never reached NVMM —
+// the commit-before-flush ordering the persistorder analyzer forbids in
+// real code. Test hook only; it has no effect on async checkpoints and must
+// not be toggled concurrently with a checkpoint.
+func (rt *Runtime) SetCommitBeforeFlushFault(on bool) { rt.faultCommitFirst = on }
 
 // RootInCLL returns an InCLL view of named persistent root slot i. Roots
 // are always scanned during recovery. Publish into a root with
@@ -598,6 +615,20 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 		return rt.cutAsync(ending, start, gateDone)
 	}
 
+	newEpoch := ending + 1
+	if rt.faultCommitFirst {
+		// FAULT INJECTION (SetCommitBeforeFlushFault): publish the epoch
+		// counter while the payload it claims durable is still volatile —
+		// the exact ordering bug persistorder exists to prevent. A crash
+		// between this commit and the flush below recovers to a state that
+		// was never certified; the crashexplore durability checker must
+		// catch it.
+		rt.heap.Annotate("epoch-commit", newEpoch)
+		//respct:allow persistorder — deliberate commit-before-flush fault injection for durability-checker tests
+		rt.heap.Store64(rt.heap.EpochAddr(), newEpoch)
+		rt.sysFlusher.Persist(rt.heap.EpochAddr())
+	}
+
 	var addrs, lines int
 	if !rt.cfg.SkipFlush {
 		addrs, lines = rt.flushModified()
@@ -609,10 +640,17 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 	}
 	flushDone := time.Now()
 
-	newEpoch := ending + 1
-	rt.heap.Store64(rt.heap.EpochAddr(), newEpoch)
+	if !rt.faultCommitFirst {
+		// The durable cut: everything the ending epoch modified is in NVMM
+		// (flushModified just fenced), so the epoch counter may now
+		// advance and persist. This store-then-persist pair is the commit
+		// point the whole recovery contract hangs off — nothing of epoch
+		// `ending` may be claimed durable before it.
+		rt.heap.Annotate("epoch-commit", newEpoch)
+		rt.heap.Store64(rt.heap.EpochAddr(), newEpoch)
+		rt.sysFlusher.Persist(rt.heap.EpochAddr())
+	}
 	rt.epochCache.Store(newEpoch)
-	rt.sysFlusher.Persist(rt.heap.EpochAddr())
 	rt.durableEpoch.Store(newEpoch)
 
 	// Deferred frees become visible in the new epoch, so a crash rolls

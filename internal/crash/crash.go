@@ -1,3 +1,5 @@
+//respct:exportdoc
+
 // Package crash validates the paper's correctness claims (§4) empirically:
 // it runs multi-threaded workloads on a Chaos-mode heap — random cache-line
 // evictions pushing partial state into NVMM at arbitrary moments — kills the
@@ -21,23 +23,23 @@ import (
 
 // MapSoakConfig parameterises one map crash soak.
 type MapSoakConfig struct {
-	Threads      int
-	Buckets      int
-	KeySpace     uint64
-	OpsPerThread int
+	Threads      int           // concurrent worker goroutines
+	Buckets      int           // RespctMap bucket count
+	KeySpace     uint64        // distinct keys the workers hammer
+	OpsPerThread int           // ops each worker performs before the crash fires
 	EvictRate    int           // evictor probe rate
 	Interval     time.Duration // checkpoint period
-	Seed         int64
-	HeapBytes    int64
+	Seed         int64         // workload and chaos RNG seed
+	HeapBytes    int64         // heap size (0 = default)
 }
 
 // SoakReport describes one soak run.
 type SoakReport struct {
-	Checkpoints    uint64
-	CertifiedKeys  int
-	RecoveredKeys  int
-	FailedEpoch    uint64
-	OpsBeforeCrash uint64
+	Checkpoints    uint64 // checkpoints completed before the crash
+	CertifiedKeys  int    // keys in the snapshot certified at the last completed checkpoint
+	RecoveredKeys  int    // keys in the recovered map
+	FailedEpoch    uint64 // epoch the recovery pass reported as interrupted
+	OpsBeforeCrash uint64 // worker ops completed when the crash fired
 }
 
 // MapSoak runs concurrent workers over a RespctMap with a periodic

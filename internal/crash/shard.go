@@ -13,26 +13,26 @@ import (
 
 // ShardedSoakConfig parameterises one sharded KV crash soak.
 type ShardedSoakConfig struct {
-	Shards    int
+	Shards    int           // shard (heap) count
 	Threads   int           // concurrent workers driving the sharded store
 	Buckets   int           // per-shard buckets
 	KeySpace  int           // distinct string keys
 	Interval  time.Duration // per-shard checkpoint period
 	Sync      bool          // synchronized instead of staggered checkpoints
 	EvictRate int           // chaos evictor probe rate per shard
-	Seed      int64
-	HeapBytes int64 // per-shard heap size
-	RunFor    time.Duration
+	Seed      int64         // workload and chaos RNG seed
+	HeapBytes int64         // per-shard heap size
+	RunFor    time.Duration // wall-clock run length before the crash fires
 }
 
 // ShardedSoakReport describes one sharded soak run.
 type ShardedSoakReport struct {
-	Shards         int
-	Checkpoints    uint64
-	FailedEpochs   []uint64
-	CertifiedKeys  int // summed over shards
-	RecoveredKeys  int
-	OpsBeforeCrash uint64
+	Shards         int      // shards the soak ran with
+	Checkpoints    uint64   // checkpoints completed across all shards
+	FailedEpochs   []uint64 // per-shard interrupted epochs (they differ under staggering)
+	CertifiedKeys  int      // summed over shards
+	RecoveredKeys  int      // keys recovered, summed over shards
+	OpsBeforeCrash uint64   // store ops completed when the crash fired
 }
 
 // ShardedKVSoak validates buffered durable linearizability per shard:

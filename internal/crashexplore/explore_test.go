@@ -1,0 +1,308 @@
+package crashexplore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// The map-tiny workload is the enumeration fixture: small enough to explore
+// exhaustively in well under a second, and its trace geometry is pinned
+// exactly. If a deliberate change to the runtime's flush schedule, the map
+// layout, or the trace instrumentation moves these numbers, re-derive them
+// with `go test -run TestMapTinyExhaustiveEnumeration -v` and update —
+// an *unexplained* shift means the persistence schedule changed by
+// accident, which is exactly what this test exists to catch.
+const (
+	mapTinyEvents         = 22
+	mapTinyOrderingPoints = 12
+)
+
+func TestMapTinyExhaustiveEnumeration(t *testing.T) {
+	w, err := Lookup("map-tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != mapTinyEvents {
+		t.Errorf("reference trace has %d events, want %d", rep.Events, mapTinyEvents)
+	}
+	if rep.OrderingPoints != mapTinyOrderingPoints {
+		t.Errorf("enumerated %d ordering points, want %d", rep.OrderingPoints, mapTinyOrderingPoints)
+	}
+	if rep.Explored != rep.OrderingPoints {
+		t.Errorf("exhaustive run explored %d of %d points", rep.Explored, rep.OrderingPoints)
+	}
+	if rep.Sampled || rep.Skipped != 0 {
+		t.Errorf("exhaustive run reported sampling (sampled=%v skipped=%d)", rep.Sampled, rep.Skipped)
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("durability violations on map-tiny: %+v", rep.Failures)
+	}
+}
+
+// TestDurabilityAcrossCrashPoints is the BDL acceptance sweep: sync, async
+// and 2-shard staggered configurations must recover to a completed
+// checkpoint from every explored crash point.
+func TestDurabilityAcrossCrashPoints(t *testing.T) {
+	cases := []struct {
+		workload string
+		budget   int // 0 = exhaustive
+	}{
+		{"map-sync", 0},
+		{"map-async", 0},
+		{"kv-sync", 30},
+		{"kv-async", 30},
+		{"shard-2-staggered", 30},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.workload, func(t *testing.T) {
+			t.Parallel()
+			budget := tc.budget
+			if testing.Short() {
+				// Each point is a full workload re-execution; under the race
+				// detector on small CI hosts the exhaustive sweeps blow the
+				// test deadline. -short keeps a sampled smoke sweep here —
+				// full coverage lives in the non-short run and in the CI
+				// crashexplore job (see EXPERIMENTS.md for the counts).
+				budget = 6
+			}
+			w, err := Lookup(tc.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Explore(w, Options{Budget: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OrderingPoints == 0 {
+				t.Fatal("workload produced no ordering points")
+			}
+			for _, f := range rep.Failures {
+				t.Errorf("crash point %d: %s", f.Seq, f.Err)
+			}
+		})
+	}
+}
+
+// The async workloads only earn their keep if the drain-window collision
+// machinery actually fires inside the traced region — otherwise they are
+// sync workloads with extra steps.
+func TestAsyncTraceCoversCollisions(t *testing.T) {
+	w, err := Lookup("map-async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := runOnce(w, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := map[string]int{}
+	for _, e := range rec.Events() {
+		if e.Kind == pmem.EvAnnotation {
+			tags[e.Tag]++
+		}
+	}
+	for _, want := range []string{"epoch-commit", "collision-arm", "collision-append"} {
+		if tags[want] == 0 {
+			t.Errorf("reference trace has no %q annotation (tags: %v)", want, tags)
+		}
+	}
+}
+
+func TestTraceIsDeterministic(t *testing.T) {
+	w, err := Lookup("map-async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1, _, err := runOnce(w, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, _, err := runOnce(w, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := rec1.Events(), rec2.Events()
+	if len(e1) != len(e2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(e1), len(e2))
+	}
+	if pmem.TraceHash(e1) != pmem.TraceHash(e2) {
+		t.Fatal("two reference runs produced different traces")
+	}
+}
+
+// Scripted evictions perturb the persistence schedule (lines reach the
+// image earlier than any flush asked) but must never break durability —
+// eviction is always legal under PCSO.
+func TestScriptedEvictionsStillDurable(t *testing.T) {
+	w, err := Lookup("map-tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Actions fire at trace positions, so derive them from a reference
+	// trace: an evict-all right after every changed write-back hits each
+	// flush window while later lines of the same batch are still dirty.
+	rec, _, err := runOnce(w, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actions []pmem.Action
+	for _, e := range rec.Events() {
+		if e.Kind == pmem.EvWriteBack && e.Changed {
+			actions = append(actions, pmem.Action{AfterSeq: e.Seq, Heap: 0, Line: -1})
+		}
+	}
+	rep, err := Explore(w, Options{Actions: actions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evictions don't add ordering points — a line's content reaches the
+	// image "changed" exactly once whoever writes it back — but they do
+	// lengthen the trace: the eviction events themselves, plus the later
+	// flushes of those lines degrading to changed=false write-backs.
+	if rep.Events <= mapTinyEvents {
+		t.Errorf("evictions should lengthen the trace: got %d events, unperturbed trace has %d",
+			rep.Events, mapTinyEvents)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("crash point %d: %s", f.Seq, f.Err)
+	}
+}
+
+// The seeded known-bad schedule: the epoch commit is made durable before
+// the payload flush (the persistorder analyzer's directive-suppressed test
+// hook). The explorer must catch it and emit a replayable minimized repro.
+func TestCommitBeforeFlushFaultCaught(t *testing.T) {
+	w, err := Lookup("map-sync-badcommit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rep, err := Explore(w, Options{ReproDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("commit-before-flush fault was not detected")
+	}
+	first := rep.Failures[0]
+	for _, f := range rep.Failures[1:] {
+		if f.Seq < first.Seq {
+			t.Errorf("failures not in ascending seq order: %d before %d", first.Seq, f.Seq)
+		}
+	}
+	if !strings.Contains(first.Err, "diverges") {
+		t.Errorf("failure should describe a state divergence, got: %s", first.Err)
+	}
+	if rep.ReproPath == "" {
+		t.Fatal("no repro written despite failures and ReproDir set")
+	}
+	if _, err := os.Stat(rep.ReproPath); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Load(rep.ReproPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "map-sync-badcommit" || r.CrashSeq != first.Seq {
+		t.Errorf("repro = {%s, %d}, want {map-sync-badcommit, %d}", r.Workload, r.CrashSeq, first.Seq)
+	}
+	res, err := Replay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence == "" {
+		t.Fatal("replaying the repro did not reproduce the durability violation")
+	}
+}
+
+func TestReplayRejectsStaleRepro(t *testing.T) {
+	w, err := Lookup("map-sync-badcommit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rep, err := Explore(w, Options{ReproDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(rep.ReproPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.PrefixHash++ // simulate a repro recorded against different code
+	if _, err := Replay(r); err == nil {
+		t.Fatal("Replay accepted a repro whose trace prefix hash cannot match")
+	}
+}
+
+func TestBudgetSampling(t *testing.T) {
+	w, err := Lookup("map-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(w, Options{Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sampled {
+		t.Fatal("budget 10 below the candidate count should force sampling")
+	}
+	if rep.Explored > 10 {
+		t.Errorf("explored %d points over budget 10", rep.Explored)
+	}
+	if rep.Skipped != rep.OrderingPoints-rep.Explored {
+		t.Errorf("skipped=%d, want %d-%d", rep.Skipped, rep.OrderingPoints, rep.Explored)
+	}
+	if len(rep.Failures) != 0 {
+		t.Errorf("unexpected failures: %+v", rep.Failures)
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	r := &Repro{
+		Version:    reproVersion,
+		Workload:   "map-tiny",
+		CrashSeq:   7,
+		Actions:    []pmem.Action{{AfterSeq: 3, Heap: 0, Line: -1}},
+		PrefixHash: 0xdeadbeefcafe,
+		Failure:    "heap 0 recovered to epoch boundary C3 but state diverges: …",
+	}
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != r.Workload || got.CrashSeq != r.CrashSeq ||
+		got.PrefixHash != r.PrefixHash || len(got.Actions) != 1 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("no-such-workload"); err == nil {
+		t.Error("Lookup of unknown workload should error")
+	}
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == "map-tiny" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v, missing map-tiny", names)
+	}
+}

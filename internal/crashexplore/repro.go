@@ -1,0 +1,129 @@
+package crashexplore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// reproVersion is bumped whenever the repro file format or the meaning of
+// trace sequence numbers changes incompatibly.
+const reproVersion = 1
+
+// Repro is a self-contained, replayable description of a failing crash
+// point: the workload name fully determines the program and its seeds, the
+// actions reproduce the perturbed persistence schedule, and CrashSeq pins
+// the crash. PrefixHash fingerprints the reference trace up to the crash so
+// a replay can prove it reproduced the same schedule byte for byte.
+type Repro struct {
+	Version  int           `json:"version"`
+	Workload string        `json:"workload"`
+	CrashSeq uint64        `json:"crash_seq"`
+	Actions  []pmem.Action `json:"actions,omitempty"`
+
+	// PrefixHash is pmem.TraceHash over reference events [0, CrashSeq].
+	PrefixHash uint64 `json:"prefix_hash"`
+
+	// Failure is the human-readable divergence the explorer observed.
+	Failure string `json:"failure"`
+}
+
+// writeRepro minimizes and persists a repro for f: actions are trimmed to
+// those that can fire at or before the crash point (later ones cannot
+// affect the persistent image the crash freezes).
+func writeRepro(dir, workload string, actions []pmem.Action, events []pmem.TraceEvent, f Failure) (string, error) {
+	r := &Repro{
+		Version:    reproVersion,
+		Workload:   workload,
+		CrashSeq:   f.Seq,
+		PrefixHash: pmem.TraceHash(events[:f.Seq+1]),
+		Failure:    f.Err,
+	}
+	for _, a := range actions {
+		if a.AfterSeq <= f.Seq {
+			r.Actions = append(r.Actions, a)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seq%d.json", workload, f.Seq))
+	if err := r.Save(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Save writes r as indented JSON.
+func (r *Repro) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a repro file written by Save (or by the explorer).
+func Load(path string) (*Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := new(Repro)
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("crashexplore: parse repro %s: %w", path, err)
+	}
+	if r.Version != reproVersion {
+		return nil, fmt.Errorf("crashexplore: repro %s has version %d, this build understands %d",
+			path, r.Version, reproVersion)
+	}
+	if r.Workload == "" {
+		return nil, fmt.Errorf("crashexplore: repro %s names no workload", path)
+	}
+	return r, nil
+}
+
+// ReplayResult is what replaying a repro observed.
+type ReplayResult struct {
+	// Divergence is empty when recovery satisfied the durability contract
+	// (the bug did not reproduce), otherwise the checker's description.
+	Divergence string
+
+	// FailedEpochs are the per-heap failed epochs recovery reported.
+	FailedEpochs []uint64
+}
+
+// Replay re-executes a repro: run the named workload with the recorded
+// schedule, crash at CrashSeq, recover, and re-check the durability
+// contract. It errors if the trace prefix no longer matches PrefixHash —
+// the workload or runtime changed since the repro was written, so the
+// schedule is not the one that failed.
+func Replay(r *Repro) (*ReplayResult, error) {
+	w, err := Lookup(r.Workload)
+	if err != nil {
+		return nil, err
+	}
+	rec, run, err := runOnce(w, r.Actions, int64(r.CrashSeq))
+	if err != nil {
+		return nil, fmt.Errorf("crashexplore: replay: %w", err)
+	}
+	ev := rec.Events()
+	if uint64(len(ev)) <= r.CrashSeq {
+		return nil, fmt.Errorf("crashexplore: replay produced %d events, repro crashes after %d — stale repro?",
+			len(ev), r.CrashSeq)
+	}
+	if got := pmem.TraceHash(ev[:r.CrashSeq+1]); got != r.PrefixHash {
+		return nil, fmt.Errorf("crashexplore: replay trace prefix hash %#x != repro %#x — workload changed since the repro was recorded",
+			got, r.PrefixHash)
+	}
+	res := new(ReplayResult)
+	epochs, f := checkCrashPoint(run, r.CrashSeq)
+	res.FailedEpochs = epochs
+	if f != nil {
+		res.Divergence = f.Err
+	}
+	return res, nil
+}

@@ -1,3 +1,5 @@
+//respct:exportdoc
+
 // Package pmem simulates byte-addressable non-volatile main memory (NVMM)
 // sitting behind volatile processor caches, as described in the system model
 // of the ResPCT paper (EuroSys 2022, §2.1).

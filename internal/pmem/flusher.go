@@ -34,12 +34,14 @@ func (f *Flusher) CLWB(a Addr) {
 // one fence window, which is exactly this window).
 func (f *Flusher) SFence() {
 	h := f.h
+	wrote := 0
 	if len(f.pending) == 1 {
 		// Fast path: the common single-line flush of per-op durability.
 		line := f.pending[0]
-		h.writeBackLine(line)
+		h.writeBackLine(line, CauseFlush)
 		h.flushes.Add(1)
 		f.flushes++
+		wrote++
 		if h.cfg.FlushPenalty > 0 {
 			spin(h.cfg.FlushPenalty)
 		}
@@ -53,9 +55,10 @@ func (f *Flusher) SFence() {
 				continue
 			}
 			prev = line
-			h.writeBackLine(line)
+			h.writeBackLine(line, CauseFlush)
 			h.flushes.Add(1)
 			f.flushes++
+			wrote++
 			if h.cfg.FlushPenalty > 0 {
 				spin(h.cfg.FlushPenalty)
 			}
@@ -67,6 +70,7 @@ func (f *Flusher) SFence() {
 	if h.cfg.FencePenalty > 0 {
 		spin(h.cfg.FencePenalty)
 	}
+	h.traceFence(wrote)
 }
 
 // Persist is the common clwb+sfence pair for a single address.

@@ -47,10 +47,7 @@ type Config struct {
 	// LoadPenalty, StorePenalty, FlushPenalty and FencePenalty are spin
 	// iterations charged per Load64, Store64, line write-back and SFence
 	// respectively. They model the latency gap between DRAM and NVMM.
-	LoadPenalty  int
-	StorePenalty int
-	FlushPenalty int
-	FencePenalty int
+	LoadPenalty, StorePenalty, FlushPenalty, FencePenalty int
 
 	// Chaos enables crash-test mode: every store, CAS, write-back and
 	// eviction takes a striped per-line lock so that line write-back is
@@ -143,6 +140,11 @@ type Heap struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// tracer, when non-nil, observes every ordering-relevant event (line
+	// write-back, fence, annotation). Nil on every hot path costs one
+	// atomic pointer load. See trace.go.
+	tracer atomic.Pointer[traceState]
 }
 
 //respct:linefit
@@ -366,26 +368,44 @@ func (h *Heap) LoadPersistentBytes(a Addr, n int) []byte {
 // writeBackLine copies one line from the volatile image to the persistent
 // image. In Chaos mode it holds the line's lock so the copy is atomic with
 // respect to concurrent stores, which is what makes PCSO's same-line
-// ordering hold exactly.
-func (h *Heap) writeBackLine(line int) {
+// ordering hold exactly. cause is reported to an attached tracer, after the
+// lock is dropped, along with whether the copy changed the persistent image
+// (only computed when a tracer is attached).
+func (h *Heap) writeBackLine(line int, cause WBCause) {
 	if h.crashed.Load() {
 		return // the machine is down; nothing reaches the media anymore
 	}
+	traced := h.tracer.Load() != nil
+	changed := false
 	base := line * WordsPerLine
-	if h.cfg.Chaos {
-		mu := h.lockLine(line)
-		mu.Lock()
+	copyLine := func() {
+		if traced {
+			for i := 0; i < WordsPerLine; i++ {
+				v := atomic.LoadUint64(&h.volatile[base+i])
+				if atomic.LoadUint64(&h.persist[base+i]) != v {
+					changed = true
+					atomic.StoreUint64(&h.persist[base+i], v)
+				}
+			}
+			return
+		}
 		for i := 0; i < WordsPerLine; i++ {
 			atomic.StoreUint64(&h.persist[base+i], atomic.LoadUint64(&h.volatile[base+i]))
 		}
+	}
+	if h.cfg.Chaos {
+		mu := h.lockLine(line)
+		mu.Lock()
+		copyLine()
 		atomic.StoreUint32(&h.dirty[line], 0)
 		mu.Unlock()
-		return
+	} else {
+		copyLine()
+		atomic.StoreUint32(&h.dirty[line], 0)
 	}
-	for i := 0; i < WordsPerLine; i++ {
-		atomic.StoreUint64(&h.persist[base+i], atomic.LoadUint64(&h.volatile[base+i]))
+	if traced {
+		h.traceWriteBack(line, cause, changed)
 	}
-	atomic.StoreUint32(&h.dirty[line], 0)
 }
 
 // EvictLine simulates a hardware cache eviction of the given line: if it is
@@ -398,7 +418,7 @@ func (h *Heap) EvictLine(line int) bool {
 	if atomic.LoadUint32(&h.dirty[line]) == 0 {
 		return false
 	}
-	h.writeBackLine(line)
+	h.writeBackLine(line, CauseEvict)
 	h.evictions.Add(1)
 	return true
 }
@@ -451,7 +471,7 @@ func (h *Heap) Crash() {
 		// The battery-backed flush of the whole cache hierarchy.
 		for line := 0; line < h.nLines; line++ {
 			if atomic.LoadUint32(&h.dirty[line]) != 0 {
-				h.writeBackLine(line)
+				h.writeBackLine(line, CauseEADR)
 			}
 		}
 	}
@@ -484,7 +504,7 @@ func (h *Heap) Reopen() {
 // evicted.
 func (h *Heap) PersistAll() {
 	for line := 0; line < h.nLines; line++ {
-		h.writeBackLine(line)
+		h.writeBackLine(line, CauseEvict)
 	}
 }
 

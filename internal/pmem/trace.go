@@ -1,0 +1,361 @@
+package pmem
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the observation side of the simulated persistency model: a
+// pluggable write-back Schedule (when do dirty lines spontaneously reach the
+// media), a Tracer hook that sees every ordering-relevant event, and a
+// Recorder that turns a run's persistence schedule into a replayable trace
+// with stable event IDs. internal/crashexplore builds its deterministic
+// crash-point enumeration on top of these.
+
+// EventKind classifies an ordering-relevant persistence event.
+type EventKind uint8
+
+// The event kinds a Tracer observes. Only EvWriteBack mutates the
+// persistent image; EvFence orders prior write-backs and EvAnnotation is a
+// semantic marker emitted by higher layers (core) at protocol points.
+const (
+	// EvWriteBack is one cache line reaching the persistent image, by
+	// flush, eviction or the eADR battery.
+	EvWriteBack EventKind = iota + 1
+	// EvFence is a completed SFence: every write-back the issuing Flusher
+	// had queued is in the persistent image when this event is emitted.
+	EvFence
+	// EvAnnotation is a semantic marker from a higher layer (see
+	// Heap.Annotate): epoch commits, collision-log appends, and the like.
+	// Annotations never change the persistent image.
+	EvAnnotation
+)
+
+// String returns the kind's short name.
+func (k EventKind) String() string {
+	switch k {
+	case EvWriteBack:
+		return "writeback"
+	case EvFence:
+		return "fence"
+	case EvAnnotation:
+		return "annotation"
+	}
+	return "unknown"
+}
+
+// WBCause says which mechanism moved a line into the persistent image.
+type WBCause uint8
+
+// Write-back causes. The distinction matters to the failure model: CLWB
+// write-backs happen at points the program chose (and fenced), evictions at
+// points the Schedule chose, and eADR write-backs only at the crash itself.
+const (
+	// CauseFlush is an explicit CLWB completed by an SFence.
+	CauseFlush WBCause = iota + 1
+	// CauseEvict is a spontaneous eviction issued by a Schedule (or a test
+	// helper such as EvictAll/EvictDirtyFraction/PersistAll).
+	CauseEvict
+	// CauseEADR is the battery-backed flush of the whole cache hierarchy
+	// that an EADR-mode heap performs at Crash.
+	CauseEADR
+)
+
+// String returns the cause's short name.
+func (c WBCause) String() string {
+	switch c {
+	case CauseFlush:
+		return "flush"
+	case CauseEvict:
+		return "evict"
+	case CauseEADR:
+		return "eadr"
+	}
+	return "unknown"
+}
+
+// TraceEvent is one ordering-relevant event of a run's persistence
+// schedule. Seq is assigned by the Recorder and is the event's stable ID: a
+// deterministic workload replayed under the same schedule produces the same
+// event at the same Seq, which is what makes "crash after event k" a
+// well-defined, replayable crash point.
+type TraceEvent struct {
+	Seq  uint64    // stable position in the run's ordering-event sequence
+	Kind EventKind // writeback, fence or annotation
+	Heap int       // recorder-assigned heap ID (multi-heap workloads)
+
+	// Write-back fields (EvWriteBack only).
+	Line    int     // cache line written back
+	Cause   WBCause // flush, evict or eadr
+	Changed bool    // the write-back altered at least one persistent word
+
+	// Annotation fields (EvAnnotation only).
+	Tag string // semantic marker, e.g. "epoch-commit"
+	Arg uint64 // marker argument, e.g. the epoch number
+}
+
+// Tracer observes ordering-relevant persistence events. The heap invokes it
+// synchronously at each event, on the goroutine that caused the event, after
+// the event has taken effect (a write-back's event fires once the line is in
+// the persistent image). A Tracer attached to a heap used by concurrent
+// goroutines must be safe for concurrent use; event order is only
+// byte-for-byte reproducible when all persistence activity is serial (one
+// goroutine at a time), which is the regime internal/crashexplore runs in.
+type Tracer interface {
+	// Event delivers one event. The Seq field is zero at this point when
+	// the tracer is not a Recorder; Recorder assigns it on append.
+	Event(e TraceEvent)
+}
+
+// traceState couples a tracer with the heap ID it knows this heap by, so
+// both swap atomically.
+type traceState struct {
+	t  Tracer
+	id int
+}
+
+// SetTracer attaches t to the heap; every subsequent ordering-relevant
+// event is delivered to it stamped with heap ID id. Pass nil to detach.
+// Attach tracers before the traced activity starts: the swap is atomic but
+// events already in flight on other goroutines may be missed.
+func (h *Heap) SetTracer(t Tracer, id int) {
+	if t == nil {
+		h.tracer.Store(nil)
+		return
+	}
+	h.tracer.Store(&traceState{t: t, id: id})
+}
+
+// Annotate emits an EvAnnotation event carrying a semantic marker from a
+// higher layer — "epoch-commit", "collision-append" and the like — so a
+// trace can be read (and crash points prioritised) in protocol terms, not
+// just line numbers. It never changes the persistent image and is free when
+// no tracer is attached.
+func (h *Heap) Annotate(tag string, arg uint64) {
+	if ts := h.tracer.Load(); ts != nil {
+		ts.t.Event(TraceEvent{Kind: EvAnnotation, Heap: ts.id, Tag: tag, Arg: arg})
+	}
+}
+
+// traceWriteBack reports one completed line write-back to the tracer, if
+// any. Called after the copy (and after the line lock is released), so by
+// the time a crash trigger fires from the callback, event k's line is in the
+// persistent image and later write-backs are not.
+func (h *Heap) traceWriteBack(line int, cause WBCause, changed bool) {
+	if ts := h.tracer.Load(); ts != nil {
+		ts.t.Event(TraceEvent{Kind: EvWriteBack, Heap: ts.id, Line: line, Cause: cause, Changed: changed})
+	}
+}
+
+// traceFence reports one completed SFence. lines is the number of
+// write-backs the fence completed.
+func (h *Heap) traceFence(lines int) {
+	if ts := h.tracer.Load(); ts != nil {
+		ts.t.Event(TraceEvent{Kind: EvFence, Heap: ts.id, Line: -1, Arg: uint64(lines)})
+	}
+}
+
+// HashPersistent returns an FNV-1a hash of the entire persistent image.
+// Two heaps with equal hashes recover identically (recovery is a
+// deterministic function of the persistent image), which is what lets the
+// crash-point explorer deduplicate crash points that produced the same
+// partially-written-back state.
+func (h *Heap) HashPersistent() uint64 {
+	f := fnv.New64a()
+	var b [8]byte
+	for i := range h.persist {
+		w := atomic.LoadUint64(&h.persist[i])
+		b[0] = byte(w)
+		b[1] = byte(w >> 8)
+		b[2] = byte(w >> 16)
+		b[3] = byte(w >> 24)
+		b[4] = byte(w >> 32)
+		b[5] = byte(w >> 40)
+		b[6] = byte(w >> 48)
+		b[7] = byte(w >> 56)
+		f.Write(b[:])
+	}
+	return f.Sum64()
+}
+
+// Schedule is a pluggable source of spontaneous line write-backs — the
+// simulated cache replacement policy. A Schedule decides *when* dirty lines
+// reach the persistent image outside the program's explicit CLWB/SFence
+// discipline; it is exactly the adversary checkpointing must tolerate. The
+// seeded chaos Evictor is the randomized implementation used by the soaks;
+// deterministic exploration uses no schedule (CLWB-only) or a scripted one
+// (see Script) replayed at exact trace positions.
+type Schedule interface {
+	// Start begins issuing write-backs; it must be safe to call once.
+	Start()
+	// Stop halts the schedule and waits for any in-flight write-back.
+	Stop()
+}
+
+// Evictor is the randomized Schedule implementation.
+var _ Schedule = (*Evictor)(nil)
+
+// Action is one scripted spontaneous write-back: after the trace event with
+// sequence ID AfterSeq completes, evict Line of heap Heap (by recorder ID).
+// Line -1 means "every dirty line" — the worst-case everything-evicted
+// schedule at that point. Actions are the serialisable half of a replayable
+// schedule: a repro file carries them next to the crash-point ID.
+type Action struct {
+	AfterSeq uint64 `json:"after_seq"` // trace event the eviction fires right after
+	Heap     int    `json:"heap"`      // recorder ID of the target heap (attachment order)
+	Line     int    `json:"line"`      // line index to evict; -1 evicts every dirty line
+}
+
+// Recorder is a Tracer that appends every event with a stable, strictly
+// increasing sequence ID, tracks the heaps attached to it, and runs
+// registered callbacks at exact sequence positions (crash triggers,
+// scripted evictions). It is safe for concurrent use; sequence assignment
+// is serialised, so in a serial workload the IDs are reproducible
+// run-to-run.
+type Recorder struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	after  map[uint64][]func()
+	heaps  []*Heap
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{after: map[uint64][]func(){}}
+}
+
+// Attach registers h with the recorder under the next heap ID and installs
+// the recorder as h's tracer. Returns the assigned heap ID.
+func (r *Recorder) Attach(h *Heap) int {
+	r.mu.Lock()
+	id := len(r.heaps)
+	r.heaps = append(r.heaps, h)
+	r.mu.Unlock()
+	h.SetTracer(r, id)
+	return id
+}
+
+// Heaps returns the heaps attached so far, in attachment (ID) order.
+func (r *Recorder) Heaps() []*Heap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Heap(nil), r.heaps...)
+}
+
+// Event implements Tracer: assign the next sequence ID, append, then run
+// any callbacks registered for that ID. Callbacks run outside the lock so
+// they may re-enter the recorder (a scripted eviction's write-back emits its
+// own event).
+func (r *Recorder) Event(e TraceEvent) {
+	r.mu.Lock()
+	e.Seq = uint64(len(r.events))
+	r.events = append(r.events, e)
+	cbs := r.after[e.Seq]
+	delete(r.after, e.Seq)
+	r.mu.Unlock()
+	for _, f := range cbs {
+		f()
+	}
+}
+
+// Len returns the number of events recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded trace.
+func (r *Recorder) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TraceEvent(nil), r.events...)
+}
+
+// AfterSeq registers f to run immediately after the event with sequence ID
+// seq is recorded. Registration must happen before the sequence position is
+// reached; a registration for an already-recorded seq never fires.
+func (r *Recorder) AfterSeq(seq uint64, f func()) {
+	r.mu.Lock()
+	r.after[seq] = append(r.after[seq], f)
+	r.mu.Unlock()
+}
+
+// CrashAllAt arranges for every attached heap to crash immediately after
+// the event with sequence ID seq completes: events 0..seq are in the
+// persistent image, nothing later is. This is the crash-point injection
+// primitive of the deterministic explorer.
+func (r *Recorder) CrashAllAt(seq uint64) {
+	r.AfterSeq(seq, r.CrashAll)
+}
+
+// CrashAll crashes every heap attached to the recorder, in attachment
+// order.
+func (r *Recorder) CrashAll() {
+	for _, h := range r.Heaps() {
+		if !h.Crashed() {
+			h.Crash()
+		}
+	}
+}
+
+// Script installs actions on the recorder: each Action evicts its line
+// (every dirty line when Line is -1) right after the event with its
+// sequence ID, on the heap with its recorder ID. Scripted evictions emit
+// their own write-back events, so they shift later sequence IDs exactly the
+// same way on every replay — the schedule stays byte-for-byte reproducible.
+// Actions naming a heap that is never attached are ignored.
+func (r *Recorder) Script(actions []Action) {
+	for _, a := range actions {
+		act := a
+		r.AfterSeq(act.AfterSeq, func() {
+			hs := r.Heaps()
+			if act.Heap < 0 || act.Heap >= len(hs) {
+				return
+			}
+			h := hs[act.Heap]
+			if act.Line < 0 {
+				h.EvictAll()
+				return
+			}
+			if act.Line < h.Lines() {
+				h.EvictLine(act.Line)
+			}
+		})
+	}
+}
+
+// TraceHash returns an FNV-1a hash over the (Kind, Heap, Line, Cause,
+// Changed, Tag, Arg) fields of events, position-sensitively. Replays use it
+// to assert that a re-execution followed the reference schedule
+// byte-for-byte up to the crash point.
+func TraceHash(events []TraceEvent) uint64 {
+	f := fnv.New64a()
+	var b [8]byte
+	put := func(w uint64) {
+		b[0] = byte(w)
+		b[1] = byte(w >> 8)
+		b[2] = byte(w >> 16)
+		b[3] = byte(w >> 24)
+		b[4] = byte(w >> 32)
+		b[5] = byte(w >> 40)
+		b[6] = byte(w >> 48)
+		b[7] = byte(w >> 56)
+		f.Write(b[:])
+	}
+	for _, e := range events {
+		put(uint64(e.Kind))
+		put(uint64(e.Heap))
+		put(uint64(int64(e.Line)))
+		put(uint64(e.Cause))
+		if e.Changed {
+			put(1)
+		} else {
+			put(0)
+		}
+		f.Write([]byte(e.Tag))
+		put(e.Arg)
+	}
+	return f.Sum64()
+}

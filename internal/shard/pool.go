@@ -55,6 +55,11 @@ type Config struct {
 	// seeded per shard from Seed; crash soaks use it.
 	Chaos bool
 
+	// SerialFlush disables every shard runtime's parallel flusher pool
+	// (core.Config.SerialFlush). The deterministic crash-point explorer
+	// sets it so each shard's write-back order is reproducible run-to-run.
+	SerialFlush bool
+
 	// Seed seeds per-shard chaos heaps.
 	Seed int64
 
@@ -121,7 +126,7 @@ type Pool struct {
 
 // shardRTConfig builds shard i's runtime config, labelling its series.
 func (cfg Config) shardRTConfig(i int) core.Config {
-	c := core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async, Metrics: cfg.Metrics}
+	c := core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async, SerialFlush: cfg.SerialFlush, Metrics: cfg.Metrics}
 	if cfg.Metrics != nil {
 		c.MetricsLabels = telemetry.Labels{"shard": strconv.Itoa(i)}
 	}
