@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	respct-bench [flags] <fig8|fig9|fig10|fig11|fig12|fig13|fig14|figshards|figpause|rpstudy|table3|all>
+//	respct-bench [flags] <fig8|fig9|fig10|fig11|fig12|fig13|fig14|figshards|figpause|figframes|rpstudy|table3|all>
 //
 // Flags:
 //
@@ -12,9 +12,10 @@
 //	-threads list        comma-separated thread counts (e.g. 1,4,16,64)
 //	-interval d          checkpoint period (default 64ms at paper scale)
 //	-csv dir             also write raw fig8/fig9 results as CSV into dir
-//	-json dir            also write figpause/figshards results as JSON into dir
-//	                     (BENCH_figpause.json, BENCH_figshards.json); the runs
-//	                     are instrumented and every row carries its closing
+//	-json dir            also write figpause/figshards/figframes results as JSON
+//	                     into dir (BENCH_figpause.json, BENCH_figshards.json,
+//	                     BENCH_figframes.json); the figpause/figshards runs are
+//	                     instrumented and every row carries its closing
 //	                     telemetry snapshot
 //	-v                   progress logging to stderr
 package main
@@ -144,6 +145,12 @@ func main() {
 			} else {
 				fmt.Print(bench.FigPause(ks, nil, log))
 			}
+		case "figframes":
+			out, results := bench.FigFramesR(ks, nil, nil, log)
+			fmt.Print(out)
+			if *jsonDir != "" {
+				writeJSON("BENCH_figframes.json", bench.NewReport("figframes", *scaleFlag, ks, results))
+			}
 		case "rpstudy":
 			fmt.Print(bench.RPPlacementStudy(as, log))
 		case "table3":
@@ -156,7 +163,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "figshards", "figpause", "rpstudy", "table3"} {
+		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "figshards", "figpause", "figframes", "rpstudy", "table3"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,50 @@
+package bench
+
+import "testing"
+
+// TestFigFramesIncrementalScaling is the CI smoke for the frame sweep: the
+// incremental columns must track churn, not heap size. Two heap sizes at two
+// churn rates give four rows; the deltas must stay far under their full sets,
+// the 10% delta must outweigh the 1% delta on the same heap, and growing the
+// heap 4x at fixed churn must NOT grow the delta anywhere near 4x.
+func TestFigFramesIncrementalScaling(t *testing.T) {
+	s := QuickKVScale()
+	s.Records = 2_000
+	heaps := []int64{8 << 20, 32 << 20}
+	churns := []float64{0.01, 0.10}
+	_, rows := FigFramesR(s, heaps, churns, nil)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	byKey := map[[2]int64]FrameResult{}
+	for _, r := range rows {
+		if r.DeltaBytes*4 >= r.FullBytes {
+			t.Errorf("heap %dMiB churn %.0f%%: delta %d bytes not well under full %d",
+				r.HeapBytes>>20, r.ChurnFrac*100, r.DeltaBytes, r.FullBytes)
+		}
+		if r.DeltaLines == 0 {
+			t.Errorf("heap %dMiB churn %.0f%%: delta carries no lines", r.HeapBytes>>20, r.ChurnFrac*100)
+		}
+		byKey[[2]int64{r.HeapBytes, int64(r.ChurnFrac * 100)}] = r
+	}
+	for _, heap := range heaps {
+		lo, hi := byKey[[2]int64{heap, 1}], byKey[[2]int64{heap, 10}]
+		if hi.DeltaBytes <= lo.DeltaBytes {
+			t.Errorf("heap %dMiB: 10%% churn delta (%d bytes) not above 1%% churn delta (%d bytes)",
+				heap>>20, hi.DeltaBytes, lo.DeltaBytes)
+		}
+	}
+	for _, churn := range []int64{1, 10} {
+		small, big := byKey[[2]int64{heaps[0], churn}], byKey[[2]int64{heaps[1], churn}]
+		if big.FullBytes <= small.FullBytes {
+			t.Errorf("churn %d%%: full bytes did not grow with the heap (%d -> %d)",
+				churn, small.FullBytes, big.FullBytes)
+		}
+		// 4x the heap, same churn: the delta may wiggle (bucket layout moves
+		// with the heap) but must not scale with the image.
+		if big.DeltaBytes > 2*small.DeltaBytes {
+			t.Errorf("churn %d%%: delta bytes scaled with heap size (%d -> %d)",
+				churn, small.DeltaBytes, big.DeltaBytes)
+		}
+	}
+}

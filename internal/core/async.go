@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -281,6 +282,42 @@ func (rt *Runtime) clearPending(a pmem.Addr) bool {
 	line := uint64(a) / pmem.LineSize
 	mask := uint64(1) << (line % 64)
 	return rt.pendingBits[1-rt.activeBits.Load()][line/64].And(^mask)&mask != 0
+}
+
+// DirtyLineBits exports the union of the double-buffered pending-line
+// bitmaps as a per-line bitmap (line i at word i/64, bit i%64): every heap
+// line that was modified in the current epoch or is still owed to NVMM by an
+// in-flight drain. Incremental snapshot engines union it into a delta of a
+// *live* async pool — such lines may reach the persistent image after the
+// heap-level churn window was harvested but before the image was read, and
+// the union keeps the delta a conservative superset either way. Returns nil
+// for synchronous runtimes, which maintain no bitmaps (their flush lists are
+// drained under the parked world, so the heap churn window alone is exact at
+// any quiesced point).
+func (rt *Runtime) DirtyLineBits() []uint64 {
+	if !rt.asyncOn {
+		return nil
+	}
+	out := make([]uint64, len(rt.pendingBits[0]))
+	for i := range out {
+		out[i] = rt.pendingBits[0][i].Load() | rt.pendingBits[1][i].Load()
+	}
+	return out
+}
+
+// DirtyLineCount returns the number of lines currently set in the union of
+// the pending bitmaps — the churn the next checkpoint will owe to NVMM.
+// Zero for synchronous runtimes. Telemetry and the figframes bench use it to
+// report live churn without walking flush lists.
+func (rt *Runtime) DirtyLineCount() int {
+	if !rt.asyncOn {
+		return 0
+	}
+	n := 0
+	for i := range rt.pendingBits[0] {
+		n += bits.OnesCount64(rt.pendingBits[0][i].Load() | rt.pendingBits[1][i].Load())
+	}
+	return n
 }
 
 // guardLine is the flush-on-collision rule for plain tracked data: if an

@@ -60,6 +60,7 @@ func TestDurabilityAcrossCrashPoints(t *testing.T) {
 		{"kv-sync", 30},
 		{"kv-async", 30},
 		{"shard-2-staggered", 30},
+		{"kv-frames", 30},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -93,6 +93,10 @@ var builders = map[string]func() Workload{
 	"shard-2-staggered": func() Workload {
 		return &shardWorkload{name: "shard-2-staggered", batches: 4, opsPerBatch: 8, keySpace: 16}
 	},
+	"kv-frames": func() Workload {
+		return &kvFramesWorkload{name: "kv-frames", batches: 4, opsPerBatch: 8, keySpace: 10,
+			crashBudget: 100}
+	},
 }
 
 // Lookup returns the registered workload for name.

@@ -1,0 +1,240 @@
+package frame
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// testImage builds a deterministic pseudo-random image of n bytes.
+func testImage(t *testing.T, n int, seed int64) []byte {
+	t.Helper()
+	if n%pmem.LineSize != 0 {
+		t.Fatalf("test image size %d not line-aligned", n)
+	}
+	img := make([]byte, n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(img)
+	return img
+}
+
+var workerMatrix = []int{1, 2, 4, 8}
+
+// TestFullDeterminismMatrix is the frame determinism gate: writing the same
+// image at 1/2/4/8 workers must produce byte-identical containers and equal
+// set digests, and every worker count must restore the identical image —
+// with and without compression. The digest must also be invariant under the
+// compression mode.
+func TestFullDeterminismMatrix(t *testing.T) {
+	img := testImage(t, 1<<20, 7)
+	// Make some frames compressible so flate's per-frame fallback exercises
+	// both encodings in one container.
+	for i := 0; i < 1<<19; i += 3 * pmem.LineSize {
+		copy(img[i:i+pmem.LineSize], make([]byte, pmem.LineSize))
+	}
+	var digestNone uint64
+	for _, comp := range []Compression{CompressNone, CompressFlate} {
+		var ref []byte
+		var refInfo *SetInfo
+		for _, w := range workerMatrix {
+			var buf bytes.Buffer
+			info, err := WriteFull(&buf, BytesSource(img), Params{FrameBytes: 1 << 16, Workers: w, Compression: comp})
+			if err != nil {
+				t.Fatalf("comp=%v workers=%d: %v", comp, w, err)
+			}
+			if ref == nil {
+				ref, refInfo = buf.Bytes(), info
+			} else {
+				if !bytes.Equal(buf.Bytes(), ref) {
+					t.Fatalf("comp=%v: container bytes differ between 1 and %d workers", comp, w)
+				}
+				if info.Digest != refInfo.Digest {
+					t.Fatalf("comp=%v: digest %#x at %d workers, %#x at 1", comp, info.Digest, w, refInfo.Digest)
+				}
+			}
+			got, rinfo, err := RestoreInto(nil, bytes.NewReader(buf.Bytes()), int64(buf.Len()), w)
+			if err != nil {
+				t.Fatalf("comp=%v workers=%d restore: %v", comp, w, err)
+			}
+			if !bytes.Equal(got, img) {
+				t.Fatalf("comp=%v workers=%d: restored image differs", comp, w)
+			}
+			if rinfo.Digest != info.Digest {
+				t.Fatalf("comp=%v workers=%d: restore digest %#x != write digest %#x", comp, w, rinfo.Digest, info.Digest)
+			}
+		}
+		if refInfo.Frames != 16 || refInfo.Lines != len(img)/pmem.LineSize {
+			t.Fatalf("comp=%v: info %+v, want 16 frames covering every line", comp, refInfo)
+		}
+		if comp == CompressNone {
+			digestNone = refInfo.Digest
+		} else {
+			if refInfo.Digest != digestNone {
+				t.Fatalf("digest changed under compression: %#x vs %#x", refInfo.Digest, digestNone)
+			}
+			if refInfo.Bytes >= int64(len(img)) {
+				t.Fatalf("flate container (%d bytes) did not shrink a half-zero image (%d bytes)", refInfo.Bytes, len(img))
+			}
+		}
+	}
+}
+
+// TestStreamRestoreMatchesRandomAccess decodes the same container via the
+// sequential reader and compares.
+func TestStreamRestoreMatchesRandomAccess(t *testing.T) {
+	img := testImage(t, 1<<19, 9)
+	var buf bytes.Buffer
+	info, err := WriteFull(&buf, BytesSource(img), Params{FrameBytes: 1 << 16, Compression: CompressFlate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, sinfo, err := RestoreStream(nil, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("stream-restored image differs")
+	}
+	if sinfo.Digest != info.Digest || sinfo.Frames != info.Frames || sinfo.Lines != info.Lines {
+		t.Fatalf("stream info %+v != write info %+v", sinfo, info)
+	}
+}
+
+// TestDeltaCarriesOnlyChurn writes a delta for a sparse churn set and checks
+// (a) only churned lines ride, so delta bytes scale with churn, not heap
+// size; (b) applying the delta onto the base reproduces the new image;
+// (c) delta bytes are deterministic across worker counts.
+func TestDeltaCarriesOnlyChurn(t *testing.T) {
+	const size = 1 << 21
+	base := testImage(t, size, 11)
+	next := append([]byte(nil), base...)
+	totalLines := size / pmem.LineSize
+	churn := make([]uint64, (totalLines+63)/64)
+	rng := rand.New(rand.NewSource(13))
+	churned := map[int]bool{}
+	for len(churned) < 100 {
+		line := rng.Intn(totalLines)
+		if churned[line] {
+			continue
+		}
+		churned[line] = true
+		churn[line/64] |= 1 << (line % 64)
+		rng.Read(next[line*pmem.LineSize : (line+1)*pmem.LineSize])
+	}
+	// One extra bit over an UNchanged line: conservative churn may re-carry
+	// identical content and must stay harmless.
+	for line := 0; ; line++ {
+		if !churned[line] {
+			churn[line/64] |= 1 << (line % 64)
+			churned[line] = true
+			break
+		}
+	}
+
+	var ref []byte
+	var info *SetInfo
+	for _, w := range workerMatrix {
+		var buf bytes.Buffer
+		wi, err := WriteDelta(&buf, BytesSource(next), churn, Params{FrameBytes: 1 << 16, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref, info = buf.Bytes(), wi
+		} else if !bytes.Equal(buf.Bytes(), ref) {
+			t.Fatalf("delta bytes differ between 1 and %d workers", w)
+		}
+	}
+	if info.Lines != len(churned) {
+		t.Fatalf("delta carries %d lines, churn set %d", info.Lines, len(churned))
+	}
+	if info.Kind != KindDelta {
+		t.Fatalf("kind %v", info.Kind)
+	}
+	// 101 churned lines ≈ 6.5 KB of payload; the container must be far
+	// smaller than the 2 MB image.
+	if info.Bytes > int64(len(churned)*pmem.LineSize*4) {
+		t.Fatalf("delta is %d bytes for %d churned lines", info.Bytes, len(churned))
+	}
+
+	got, _, err := RestoreInto(append([]byte(nil), base...), bytes.NewReader(ref), int64(len(ref)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, next) {
+		t.Fatal("base+delta != next image")
+	}
+	// Stream path applies the same delta.
+	sgot, _, err := RestoreStream(append([]byte(nil), base...), bytes.NewReader(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sgot, next) {
+		t.Fatal("stream base+delta != next image")
+	}
+}
+
+// TestDeltaNeedsBase ensures a delta cannot be restored without its base.
+func TestDeltaNeedsBase(t *testing.T) {
+	img := testImage(t, 1<<16, 3)
+	churn := make([]uint64, (len(img)/pmem.LineSize+63)/64)
+	churn[0] = 1
+	var buf bytes.Buffer
+	if _, err := WriteDelta(&buf, BytesSource(img), churn, Params{FrameBytes: 1 << 14}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RestoreInto(nil, bytes.NewReader(buf.Bytes()), int64(buf.Len()), 1); err == nil {
+		t.Fatal("delta restored without a base image")
+	}
+}
+
+// TestCorruptionDetected flips one payload byte and expects the frame digest
+// check to refuse the container.
+func TestCorruptionDetected(t *testing.T) {
+	img := testImage(t, 1<<17, 5)
+	var buf bytes.Buffer
+	if _, err := WriteFull(&buf, BytesSource(img), Params{FrameBytes: 1 << 15}); err != nil {
+		t.Fatal(err)
+	}
+	bad := buf.Bytes()
+	bad[headerSize+frameHdrSize+17] ^= 0x40 // inside the first frame's body
+	if _, _, err := RestoreInto(nil, bytes.NewReader(bad), int64(len(bad)), 2); err == nil {
+		t.Fatal("corrupt container restored without error")
+	}
+}
+
+// TestHeapSourceRoundTrip snapshots a live pmem heap through the frame
+// engine and reboots a heap from the restored image.
+func TestHeapSourceRoundTrip(t *testing.T) {
+	h := pmem.New(pmem.Config{Size: 1 << 20})
+	f := h.NewFlusher()
+	for i := 0; i < 64; i++ {
+		a := pmem.Addr(4096 + i*pmem.LineSize)
+		h.Store64(a, uint64(0xC0FFEE+i))
+		f.Persist(a)
+	}
+	var buf bytes.Buffer
+	info, err := WriteFull(&buf, HeapSource{h}, Params{FrameBytes: 1 << 16, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ImageBytes != h.ImageSize() {
+		t.Fatalf("info image %d, heap %d", info.ImageBytes, h.ImageSize())
+	}
+	img, _, err := RestoreInto(nil, bytes.NewReader(buf.Bytes()), int64(buf.Len()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := pmem.OpenImageBytes(img, pmem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		a := pmem.Addr(4096 + i*pmem.LineSize)
+		if got := h2.Load64(a); got != uint64(0xC0FFEE+i) {
+			t.Fatalf("addr %#x: %#x after round trip", a, got)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package frame
+
+import (
+	"time"
+
+	"github.com/respct/respct/internal/telemetry"
+)
+
+// Metrics is the frame engine's telemetry surface. A nil *Metrics is valid
+// and records nothing, so stores in tests and crash exploration stay free of
+// registry plumbing.
+type Metrics struct {
+	setsFull    *telemetry.Counter
+	setsDelta   *telemetry.Counter
+	bytesFull   *telemetry.Counter
+	bytesDelta  *telemetry.Counter
+	framesFull  *telemetry.Counter
+	framesDelta *telemetry.Counter
+	linesDelta  *telemetry.Counter
+	compactions *telemetry.Counter
+	snapshotNs  *telemetry.Histogram
+	restoreNs   *telemetry.Histogram
+}
+
+// NewMetrics registers the frame series on r (idempotently — shards may
+// share one registry).
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	full := telemetry.Labels{"kind": "full"}
+	delta := telemetry.Labels{"kind": "delta"}
+	return &Metrics{
+		setsFull:    r.Counter("respct_frame_sets_total", "Frame snapshot containers written.", full),
+		setsDelta:   r.Counter("respct_frame_sets_total", "Frame snapshot containers written.", delta),
+		bytesFull:   r.Counter("respct_frame_bytes_total", "Container bytes written.", full),
+		bytesDelta:  r.Counter("respct_frame_bytes_total", "Container bytes written.", delta),
+		framesFull:  r.Counter("respct_frame_frames_total", "Frame records written.", full),
+		framesDelta: r.Counter("respct_frame_frames_total", "Frame records written.", delta),
+		linesDelta:  r.Counter("respct_frame_delta_lines_total", "Churned lines carried by delta containers.", nil),
+		compactions: r.Counter("respct_frame_compactions_total", "Delta chains folded back into a full set.", nil),
+		snapshotNs:  r.Histogram("respct_frame_snapshot_ns", "Frame snapshot wall time (ns).", nil),
+		restoreNs:   r.Histogram("respct_frame_restore_ns", "Frame chain restore wall time (ns).", nil),
+	}
+}
+
+func (m *Metrics) snapshotDone(info *SetInfo, compacted int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	sets, bytes, frames := m.setsDelta, m.bytesDelta, m.framesDelta
+	if info.Kind == KindFull {
+		sets, bytes, frames = m.setsFull, m.bytesFull, m.framesFull
+	} else {
+		m.linesDelta.Add(0, uint64(info.Lines))
+	}
+	sets.Inc(0)
+	bytes.Add(0, uint64(info.Bytes))
+	frames.Add(0, uint64(info.Frames))
+	if compacted > 0 {
+		m.compactions.Inc(0)
+	}
+	m.snapshotNs.ObserveDuration(0, d)
+}
+
+func (m *Metrics) restoreDone(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.restoreNs.ObserveDuration(0, d)
+}

@@ -1,0 +1,323 @@
+package frame
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// Info reads a container's identity — kind, sizes, digest — from its header
+// and trailer without touching the frames.
+func Info(r io.ReaderAt, size int64) (*SetInfo, error) {
+	h, t, _, err := readShape(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return &SetInfo{
+		Kind:       h.kind,
+		FrameBytes: h.frameBytes,
+		ImageBytes: h.imageBytes,
+		Frames:     t.frameCount,
+		Bytes:      size,
+		Digest:     t.setDigest,
+	}, nil
+}
+
+// RestoreInto applies one container to img, decoding frames in parallel with
+// the given worker count (0 means GOMAXPROCS). For a full container img may
+// be nil — the image is allocated — otherwise its length must match the
+// container's image size. For a delta, img must hold the base image the
+// delta chains onto. Every frame digest and the set digest are verified; on
+// any mismatch the image must be considered garbage.
+func RestoreInto(img []byte, r io.ReaderAt, size int64, workers int) ([]byte, *SetInfo, error) {
+	h, t, entries, err := readShape(r, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	if img == nil {
+		if h.kind == KindDelta {
+			return nil, nil, fmt.Errorf("frame: delta container needs a base image")
+		}
+		img = make([]byte, h.imageBytes)
+	} else if int64(len(img)) != h.imageBytes {
+		return nil, nil, fmt.Errorf("frame: image is %d bytes, container restores %d", len(img), h.imageBytes)
+	}
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	digests := make([]uint64, len(entries))
+	rawLens := make([]int, len(entries))
+	errs := make([]error, workers)
+	var next int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= len(entries) {
+					return
+				}
+				e := entries[i]
+				buf := make([]byte, e.recordLen)
+				if _, err := r.ReadAt(buf, e.offset); err != nil {
+					errs[w] = fmt.Errorf("frame record %d: %w", e.index, err)
+					return
+				}
+				fh, err := applyRecord(h, buf, img)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if fh.index != e.index {
+					errs[w] = fmt.Errorf("frame record at %d: index %d, index section says %d", e.offset, fh.index, e.index)
+					return
+				}
+				digests[i] = fh.digest
+				rawLens[i] = fh.rawLen
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	info, err := finishRestore(h, t, size, digests, rawLens)
+	if err != nil {
+		return nil, nil, err
+	}
+	return img, info, nil
+}
+
+// RestoreStream decodes a container sequentially from a plain reader — the
+// same bytes RestoreInto reads, without needing io.ReaderAt. img follows the
+// same rules as RestoreInto.
+func RestoreStream(img []byte, r io.Reader) ([]byte, *SetInfo, error) {
+	hb := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hb); err != nil {
+		return nil, nil, err
+	}
+	h, err := decodeHeader(hb)
+	if err != nil {
+		return nil, nil, err
+	}
+	if img == nil {
+		if h.kind == KindDelta {
+			return nil, nil, fmt.Errorf("frame: delta container needs a base image")
+		}
+		img = make([]byte, h.imageBytes)
+	} else if int64(len(img)) != h.imageBytes {
+		return nil, nil, fmt.Errorf("frame: image is %d bytes, container restores %d", len(img), h.imageBytes)
+	}
+	size := int64(headerSize)
+	var digests []uint64
+	var rawLens []int
+	var magic [4]byte
+	for {
+		if _, err := io.ReadFull(r, magic[:]); err != nil {
+			return nil, nil, err
+		}
+		size += 4
+		if binary.LittleEndian.Uint32(magic[:]) == indexMagic {
+			break
+		}
+		rest := make([]byte, frameHdrSize-4)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return nil, nil, err
+		}
+		fh, err := decodeFrameHdr(append(magic[:], rest...))
+		if err != nil {
+			return nil, nil, err
+		}
+		buf := make([]byte, frameHdrSize+fh.bitmapLen+fh.compLen)
+		copy(buf, magic[:])
+		copy(buf[4:], rest)
+		if _, err := io.ReadFull(r, buf[frameHdrSize:]); err != nil {
+			return nil, nil, err
+		}
+		if _, err := applyRecord(h, buf, img); err != nil {
+			return nil, nil, err
+		}
+		digests = append(digests, fh.digest)
+		rawLens = append(rawLens, fh.rawLen)
+		size += int64(len(buf)) - 4
+	}
+	// The index magic is consumed; read count, entries, trailer, and verify
+	// the frame count and set digest against what we streamed.
+	var cb [4]byte
+	if _, err := io.ReadFull(r, cb[:]); err != nil {
+		return nil, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(cb[:]))
+	rest := make([]byte, n*indexEntrySize+trailerSize)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, nil, err
+	}
+	size += 4 + int64(len(rest))
+	t, err := decodeTrailer(rest[n*indexEntrySize:])
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := finishRestore(h, t, size, digests, rawLens)
+	if err != nil {
+		return nil, nil, err
+	}
+	return img, info, nil
+}
+
+// readShape reads header, trailer and index of a random-access container.
+func readShape(r io.ReaderAt, size int64) (header, trailer, []indexEntry, error) {
+	var h header
+	var t trailer
+	if size < headerSize+trailerSize {
+		return h, t, nil, fmt.Errorf("frame: container of %d bytes is too small", size)
+	}
+	hb := make([]byte, headerSize)
+	if _, err := r.ReadAt(hb, 0); err != nil {
+		return h, t, nil, err
+	}
+	h, err := decodeHeader(hb)
+	if err != nil {
+		return h, t, nil, err
+	}
+	tb := make([]byte, trailerSize)
+	if _, err := r.ReadAt(tb, size-trailerSize); err != nil {
+		return h, t, nil, err
+	}
+	t, err = decodeTrailer(tb)
+	if err != nil {
+		return h, t, nil, err
+	}
+	if t.imageBytes != h.imageBytes {
+		return h, t, nil, fmt.Errorf("frame: trailer image size %d != header %d", t.imageBytes, h.imageBytes)
+	}
+	idxLen := size - trailerSize - t.indexOff
+	if idxLen < 8 || idxLen > size {
+		return h, t, nil, fmt.Errorf("frame: corrupt index span [%d,%d)", t.indexOff, size-trailerSize)
+	}
+	ib := make([]byte, idxLen)
+	if _, err := r.ReadAt(ib, t.indexOff); err != nil {
+		return h, t, nil, err
+	}
+	entries, err := decodeIndex(ib)
+	if err != nil {
+		return h, t, nil, err
+	}
+	if len(entries) != t.frameCount {
+		return h, t, nil, fmt.Errorf("frame: index has %d entries, trailer says %d", len(entries), t.frameCount)
+	}
+	for _, e := range entries {
+		if e.offset < headerSize || e.recordLen < frameHdrSize || e.offset+int64(e.recordLen) > t.indexOff {
+			return h, t, nil, fmt.Errorf("frame: index entry %d outside record region", e.index)
+		}
+	}
+	return h, t, entries, nil
+}
+
+// applyRecord decodes one frame record and writes its lines into img,
+// verifying the frame digest. Frames touch disjoint img regions, so
+// concurrent applies need no locking.
+func applyRecord(h header, rec []byte, img []byte) (frameHdr, error) {
+	fh, err := decodeFrameHdr(rec)
+	if err != nil {
+		return fh, err
+	}
+	if len(rec) != frameHdrSize+fh.bitmapLen+fh.compLen {
+		return fh, fmt.Errorf("frame %d: record is %d bytes, header claims %d", fh.index, len(rec), frameHdrSize+fh.bitmapLen+fh.compLen)
+	}
+	bitmap := rec[frameHdrSize : frameHdrSize+fh.bitmapLen]
+	body := rec[frameHdrSize+fh.bitmapLen:]
+	raw := body
+	switch fh.enc {
+	case CompressNone:
+		if fh.compLen != fh.rawLen {
+			return fh, fmt.Errorf("frame %d: raw body length %d != %d", fh.index, fh.compLen, fh.rawLen)
+		}
+	case CompressFlate:
+		raw = make([]byte, fh.rawLen)
+		fr := flate.NewReader(bytes.NewReader(body))
+		if _, err := io.ReadFull(fr, raw); err != nil {
+			return fh, fmt.Errorf("frame %d: inflate: %w", fh.index, err)
+		}
+		// The stream must end exactly at rawLen.
+		var one [1]byte
+		if n, _ := fr.Read(one[:]); n != 0 {
+			return fh, fmt.Errorf("frame %d: inflated body longer than %d", fh.index, fh.rawLen)
+		}
+	}
+	if d := frameDigest(fh.index, bitmap, raw); d != fh.digest {
+		return fh, fmt.Errorf("frame %d: digest %#x, record claims %#x", fh.index, d, fh.digest)
+	}
+	off := int64(fh.index) * int64(h.frameBytes)
+	if off < 0 || off >= int64(len(img)) {
+		return fh, fmt.Errorf("frame %d: outside %d-byte image", fh.index, len(img))
+	}
+	if fh.bitmapLen == 0 {
+		// Full frame: contiguous span.
+		if off+int64(fh.rawLen) > int64(len(img)) {
+			return fh, fmt.Errorf("frame %d: %d bytes at %d overruns %d-byte image", fh.index, fh.rawLen, off, len(img))
+		}
+		copy(img[off:], raw)
+		return fh, nil
+	}
+	// Delta frame: scatter churned lines per the bitmap.
+	set := 0
+	for _, b := range bitmap {
+		set += bits.OnesCount8(b)
+	}
+	if set*pmem.LineSize != fh.rawLen {
+		return fh, fmt.Errorf("frame %d: bitmap sets %d lines, body carries %d", fh.index, set, fh.rawLen/pmem.LineSize)
+	}
+	pos := 0
+	for rel := 0; rel < fh.bitmapLen*8; rel++ {
+		if bitmap[rel/8]&(1<<(rel%8)) == 0 {
+			continue
+		}
+		lineOff := off + int64(rel)*pmem.LineSize
+		if lineOff+pmem.LineSize > int64(len(img)) {
+			return fh, fmt.Errorf("frame %d: line %d outside %d-byte image", fh.index, rel, len(img))
+		}
+		copy(img[lineOff:lineOff+pmem.LineSize], raw[pos:])
+		pos += pmem.LineSize
+	}
+	return fh, nil
+}
+
+// finishRestore folds the streamed/decoded frame digests and checks them
+// against the trailer.
+func finishRestore(h header, t trailer, size int64, digests []uint64, rawLens []int) (*SetInfo, error) {
+	if len(digests) != t.frameCount {
+		return nil, fmt.Errorf("frame: decoded %d frames, trailer says %d", len(digests), t.frameCount)
+	}
+	fold := newDigestFold(h)
+	lines := 0
+	for i, d := range digests {
+		fold = fold.word(d)
+		lines += rawLens[i] / pmem.LineSize
+	}
+	if uint64(fold) != t.setDigest {
+		return nil, fmt.Errorf("frame: set digest %#x, trailer claims %#x", uint64(fold), t.setDigest)
+	}
+	return &SetInfo{
+		Kind:       h.kind,
+		FrameBytes: h.frameBytes,
+		ImageBytes: h.imageBytes,
+		Frames:     t.frameCount,
+		Lines:      lines,
+		Bytes:      size,
+		Digest:     t.setDigest,
+	}, nil
+}

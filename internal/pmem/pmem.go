@@ -145,6 +145,11 @@ type Heap struct {
 	// write-back, fence, annotation). Nil on every hot path costs one
 	// atomic pointer load. See trace.go.
 	tracer atomic.Pointer[traceState]
+
+	// churn, when non-nil, is the per-line churn window incremental
+	// snapshots harvest (see image.go). Nil when tracking is off; the only
+	// hot-path cost is one atomic pointer load per line write-back.
+	churn atomic.Pointer[churnMap]
 }
 
 //respct:linefit
@@ -402,6 +407,12 @@ func (h *Heap) writeBackLine(line int, cause WBCause) {
 	} else {
 		copyLine()
 		atomic.StoreUint32(&h.dirty[line], 0)
+	}
+	if c := h.churn.Load(); c != nil {
+		// Conservative: marked whether or not the copy changed the image, so
+		// a delta snapshot may carry an identical line but never misses a
+		// changed one.
+		c.mark(line)
 	}
 	if traced {
 		h.traceWriteBack(line, cause, changed)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/frame"
 	"github.com/respct/respct/internal/kv"
 	"github.com/respct/respct/internal/pmem"
 	"github.com/respct/respct/internal/telemetry"
@@ -122,6 +123,12 @@ type Pool struct {
 	// ops counts operations routed to each shard (router skew); nil when no
 	// registry was configured, and Store checks that once per operation.
 	ops []*telemetry.Counter
+
+	// frames caches per-base frame stores (see SnapshotFrames): delta
+	// snapshots depend on the store tracking a heap's churn window
+	// continuously, so stores must survive across calls.
+	framesMu sync.Mutex
+	frames   map[string][]*frame.Store
 }
 
 // shardRTConfig builds shard i's runtime config, labelling its series.

@@ -1,0 +1,200 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/respct/respct/internal/frame"
+)
+
+// TestDiscoveryIgnoresStaleTemps is the regression test for snapshot
+// discovery counting a crashed writer's temp file as a shard image: with
+// shards 0 and 1 committed and a "kv-2.img.tmp123" leftover, the store has
+// exactly two shards.
+func TestDiscoveryIgnoresStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "kv.img")
+	for i := 0; i < 2; i++ {
+		if err := os.WriteFile(ShardFile(base, i), []byte("img"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// What writeImageAtomic's CreateTemp leaves behind when the process dies
+	// before the rename.
+	stale := filepath.Join(dir, "kv-2.img.tmp123")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := SnapshotFileCount(base); got != 2 {
+		t.Fatalf("SnapshotFileCount = %d with a stale temp for shard 2, want 2", got)
+	}
+	if HaveSnapshotFiles(base, 3) {
+		t.Fatal("HaveSnapshotFiles counted a stale temp as shard 2's image")
+	}
+	if !HaveSnapshotFiles(base, 2) {
+		t.Fatal("committed shards 0,1 not found")
+	}
+
+	// The next snapshot collects the leftover.
+	p, err := NewPool(testConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.SnapshotFiles(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived SnapshotFiles: %v", err)
+	}
+}
+
+// TestPoolFrameSnapshotRoundTrip drives the frame-format path end to end:
+// full sets, then an incremental delta whose size scales with churn, then
+// recovery via OpenPoolFiles from the frame chains.
+func TestPoolFrameSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "kv.img")
+	cfg := testConfig(3, 2)
+	params := frame.Params{FrameBytes: 1 << 16}
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Store()
+	for i := 0; i < 400; i++ {
+		s.Set(0, fmt.Sprintf("fr%04d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	res, err := p.SnapshotFrames(base, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullBytes int64
+	for i, r := range res {
+		if r.Info.Kind != frame.KindFull {
+			t.Fatalf("shard %d first snapshot: %v, want full", i, r.Info.Kind)
+		}
+		fullBytes += r.Info.Bytes
+	}
+
+	// Touch a handful of keys; the deltas must carry lines, not heaps.
+	for i := 0; i < 20; i++ {
+		s.Set(0, fmt.Sprintf("fr%04d", i), []byte("churned"))
+	}
+	res, err = p.SnapshotFrames(base, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltaBytes int64
+	for i, r := range res {
+		if r.Info.Kind != frame.KindDelta {
+			t.Fatalf("shard %d second snapshot: %v, want delta", i, r.Info.Kind)
+		}
+		deltaBytes += r.Info.Bytes
+	}
+	if deltaBytes*10 > fullBytes {
+		t.Fatalf("deltas total %d bytes vs full %d — not incremental", deltaBytes, fullBytes)
+	}
+	p.Close()
+
+	// Frame stores are discovered like legacy images.
+	if !HaveSnapshotFiles(base, cfg.Shards) {
+		t.Fatal("frame snapshot not discovered")
+	}
+	if got := SnapshotFileCount(base); got != cfg.Shards {
+		t.Fatalf("SnapshotFileCount = %d, want %d", got, cfg.Shards)
+	}
+
+	p2, rep, err := OpenPoolFiles(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if len(rep.PerShard) != cfg.Shards {
+		t.Fatalf("report covers %d shards", len(rep.PerShard))
+	}
+	s2 := p2.Store()
+	for i := 0; i < 400; i++ {
+		key := fmt.Sprintf("fr%04d", i)
+		want := fmt.Sprintf("val%d", i)
+		if i < 20 {
+			want = "churned"
+		}
+		if v, ok := s2.Get(0, key); !ok || string(v) != want {
+			t.Fatalf("key %s after frame recovery: %q,%v want %q", key, v, ok, want)
+		}
+	}
+}
+
+// TestFrameSnapshotsStayIncrementalAcrossRecovery reopens a frame-snapshotted
+// pool and checks the next snapshot is a (chain-extending) full set — churn
+// windows die with the process — followed again by deltas.
+func TestFrameSnapshotsStayIncrementalAcrossRecovery(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "kv.img")
+	cfg := testConfig(2, 1)
+	params := frame.Params{FrameBytes: 1 << 16}
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Store()
+	for i := 0; i < 100; i++ {
+		s.Set(0, fmt.Sprintf("k%03d", i), []byte("v"))
+	}
+	if _, err := p.SnapshotFrames(base, params); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	p2, _, err := OpenPoolFiles(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	res, err := p2.SnapshotFrames(base, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Info.Kind != frame.KindFull {
+			t.Fatalf("shard %d first post-recovery snapshot: %v, want full", i, r.Info.Kind)
+		}
+	}
+	p2.Store().Set(0, "k000", []byte("post-recovery"))
+	res, err = p2.SnapshotFrames(base, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Info.Kind != frame.KindDelta {
+			t.Fatalf("shard %d second post-recovery snapshot: %v, want delta", i, r.Info.Kind)
+		}
+	}
+	// And the chain still restores: check the churned key one more time.
+	p3, _, err := OpenPoolFiles(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Close()
+	if v, ok := p3.Store().Get(0, "k000"); !ok || string(v) != "post-recovery" {
+		t.Fatalf("k000 = %q,%v", v, ok)
+	}
+}
+
+// TestShardFrameDir pins the directory naming next to ShardFile's.
+func TestShardFrameDir(t *testing.T) {
+	if got := ShardFrameDir("kv.img", 2); got != "kv-2.fset" {
+		t.Fatalf("ShardFrameDir = %q", got)
+	}
+	if got := ShardFrameDir("/tmp/state/kv.img", 0); got != "/tmp/state/kv-0.fset" {
+		t.Fatalf("ShardFrameDir = %q", got)
+	}
+	if strings.Contains(ShardFrameDir("kv.img", 1), ".img") {
+		t.Fatal("frame dir must not collide with legacy image names")
+	}
+}

@@ -46,6 +46,8 @@ const (
 	FlightDrainCommit                       // async drain made its epoch durable (aux = lag ns, aux2 = lines)
 	FlightRecovery                          // recovery pass completed (aux = cells rolled back, aux2 = drain interrupted)
 	FlightSnapshot                          // persistent image snapshot written
+	FlightFrameSnap                         // frame-format snapshot written (aux = set kind 1 full / 2 delta, aux2 = bytes)
+	FlightCompaction                        // frame delta chain compacted back to a full set (aux = chain length folded, aux2 = bytes)
 )
 
 // String renders the kind for reports.
@@ -63,11 +65,15 @@ func (k FlightKind) String() string {
 		return "recovery"
 	case FlightSnapshot:
 		return "snapshot"
+	case FlightFrameSnap:
+		return "frame-snapshot"
+	case FlightCompaction:
+		return "frame-compaction"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-func (k FlightKind) valid() bool { return k >= FlightFormat && k <= FlightSnapshot }
+func (k FlightKind) valid() bool { return k >= FlightFormat && k <= FlightCompaction }
 
 // FlightEvent is one recovered or live event.
 type FlightEvent struct {
