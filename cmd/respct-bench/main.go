@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	respct-bench [flags] <fig8|fig9|fig10|fig11|fig12|fig13|fig14|figshards|figpause|figframes|rpstudy|table3|all>
+//	respct-bench [flags] <fig8|fig9|fig10|fig11|fig12|fig13|fig14|figshards|figpause|figframes|figstores|rpstudy|table3|all>
 //
 // Flags:
 //
@@ -12,11 +12,15 @@
 //	-threads list        comma-separated thread counts (e.g. 1,4,16,64)
 //	-interval d          checkpoint period (default 64ms at paper scale)
 //	-csv dir             also write raw fig8/fig9 results as CSV into dir
-//	-json dir            also write figpause/figshards/figframes results as JSON
-//	                     into dir (BENCH_figpause.json, BENCH_figshards.json,
-//	                     BENCH_figframes.json); the figpause/figshards runs are
+//	-json dir            also write figpause/figshards/figframes/figstores
+//	                     results as JSON into dir (BENCH_figpause.json,
+//	                     BENCH_figshards.json, BENCH_figframes.json,
+//	                     BENCH_figstores.json); the figpause/figshards runs are
 //	                     instrumented and every row carries its closing
 //	                     telemetry snapshot
+//	-baseline file       with figstores: compare against a checked-in
+//	                     BENCH_figstores.json, exit 1 if any row's store
+//	                     ns/op regressed by more than 10%
 //	-v                   progress logging to stderr
 package main
 
@@ -40,6 +44,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	csvDir := flag.String("csv", "", "directory to also write raw fig8/fig9 results as CSV")
 	jsonDir := flag.String("json", "", "directory to also write figpause/figshards results as JSON (with telemetry snapshots)")
+	baseline := flag.String("baseline", "", "BENCH_figstores.json to compare a figstores run against; exits 1 on >10% ns/op regression")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -145,6 +150,28 @@ func main() {
 			} else {
 				fmt.Print(bench.FigPause(ks, nil, log))
 			}
+		case "figstores":
+			out, results := bench.FigStoresR(ks, log)
+			fmt.Print(out)
+			if *jsonDir != "" {
+				writeJSON("BENCH_figstores.json", bench.NewReport("figstores", *scaleFlag, ks, results))
+			}
+			if *baseline != "" {
+				// One noisy run must not fail CI: a genuine regression
+				// reproduces on every attempt, a neighbour stealing the CPU
+				// does not, so the gate reruns the sweep before giving up.
+				err := bench.CompareStoreBaseline(*baseline, results, 0.10)
+				for attempt := 2; err != nil && attempt <= 3; attempt++ {
+					fmt.Fprintf(os.Stderr, "figstores: retrying (attempt %d/3) after: %v\n", attempt, err)
+					_, results = bench.FigStoresR(ks, log)
+					err = bench.CompareStoreBaseline(*baseline, results, 0.10)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "figstores: within 10%% of %s\n", *baseline)
+			}
 		case "figframes":
 			out, results := bench.FigFramesR(ks, nil, nil, log)
 			fmt.Print(out)
@@ -163,7 +190,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "figshards", "figpause", "figframes", "rpstudy", "table3"} {
+		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "figshards", "figpause", "figframes", "figstores", "rpstudy", "table3"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyStoreScale() KVScale {
+	return KVScale{
+		Records: 512, Operations: 4_000, ValueSize: 32,
+		Clients: 1, Workers: 1, Buckets: 1 << 8,
+		Interval: 4 * time.Millisecond, HeapBytes: 64 << 20,
+	}
+}
+
+func TestFigStoresRows(t *testing.T) {
+	out, results := FigStoresR(tinyStoreScale(), nil)
+	if len(results) != 4 {
+		t.Fatalf("got %d rows, want 4 (sync/async × zipfian/uniform):\n%s", len(results), out)
+	}
+	want := []struct{ mode, dist string }{
+		{"sync", "zipfian"}, {"sync", "uniform"},
+		{"async", "zipfian"}, {"async", "uniform"},
+	}
+	for i, r := range results {
+		if r.Mode != want[i].mode || r.Dist != want[i].dist {
+			t.Fatalf("row %d is %s/%s, want %s/%s", i, r.Mode, r.Dist, want[i].mode, want[i].dist)
+		}
+		if r.StoreNsOp <= 0 {
+			t.Errorf("%s/%s: non-positive store ns/op %v", r.Mode, r.Dist, r.StoreNsOp)
+		}
+		if r.FlushUsCkpt <= 0 {
+			t.Errorf("%s/%s: non-positive flush µs/ckpt %v", r.Mode, r.Dist, r.FlushUsCkpt)
+		}
+		if r.Checkpoints != storeFlushCkpts {
+			t.Errorf("%s/%s: %d flush checkpoints, want %d", r.Mode, r.Dist, r.Checkpoints, storeFlushCkpts)
+		}
+		// The steady-state acceptance gate: the tracked-store loop must not
+		// allocate. A zipfian miss here means the hot path grew a slow leak.
+		if r.AllocsPerOp != 0 {
+			t.Errorf("%s/%s: %v allocs/op on the tracked-store path, want 0", r.Mode, r.Dist, r.AllocsPerOp)
+		}
+	}
+	if !strings.Contains(out, "zipfian") || !strings.Contains(out, "uniform") {
+		t.Fatalf("table missing distribution rows:\n%s", out)
+	}
+}
+
+func TestCompareStoreBaseline(t *testing.T) {
+	rows := []StoreOpResult{
+		{Mode: "sync", Dist: "zipfian", StoreNsOp: 1000},
+		{Mode: "async", Dist: "uniform", StoreNsOp: 2000},
+	}
+	writeBaseline := func(t *testing.T, rep Report) string {
+		t.Helper()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "BENCH_figstores.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Fresh run within tolerance of the baseline: no error.
+	ok := writeBaseline(t, NewReport("figstores", "quick", KVScale{}, []StoreOpResult{
+		{Mode: "sync", Dist: "zipfian", StoreNsOp: 950},
+		{Mode: "async", Dist: "uniform", StoreNsOp: 1900},
+	}))
+	if err := CompareStoreBaseline(ok, rows, 0.10); err != nil {
+		t.Fatalf("within-tolerance compare failed: %v", err)
+	}
+
+	// One row 25% slower than baseline: the gate must trip and name it.
+	bad := writeBaseline(t, NewReport("figstores", "quick", KVScale{}, []StoreOpResult{
+		{Mode: "sync", Dist: "zipfian", StoreNsOp: 800},
+		{Mode: "async", Dist: "uniform", StoreNsOp: 1900},
+	}))
+	err := CompareStoreBaseline(bad, rows, 0.10)
+	if err == nil {
+		t.Fatal("25% regression passed the 10% gate")
+	}
+	if !strings.Contains(err.Error(), "sync/zipfian") {
+		t.Fatalf("regression error does not name the row: %v", err)
+	}
+
+	// Rows absent from the baseline are ignored, missing files are not.
+	if err := CompareStoreBaseline(ok, []StoreOpResult{{Mode: "sync", Dist: "new", StoreNsOp: 9e9}}, 0.10); err != nil {
+		t.Fatalf("unknown row should be skipped: %v", err)
+	}
+	if err := CompareStoreBaseline(filepath.Join(t.TempDir(), "absent.json"), rows, 0.10); err == nil {
+		t.Fatal("missing baseline file did not error")
+	}
+}

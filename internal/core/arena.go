@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -234,9 +235,12 @@ func (a *Arena) Alloc(t *Thread, cells, rawWords int) pmem.Addr {
 	// checkpointing a block freed in epoch N keeps its NVMM payload — which
 	// a crash during the drain of N still recovers through — until C_N has
 	// durably committed. In sync mode the two epochs coincide.
+	// The cached durable epoch is a lower bound (it refreshes at park/unpark
+	// boundaries), so a hit on it needs no atomic load; the fallback re-checks
+	// the live counter so a freshly committed drain is never missed.
 	if mag := &t.magazines[class]; t.magStart[class] < len(*mag) {
 		e := (*mag)[t.magStart[class]]
-		if e.epoch < t.rt.durableEpoch.Load() {
+		if e.epoch < t.durable() || e.epoch < t.rt.durableEpoch.Load() {
 			t.magRecycled.Add(1)
 			t.magStart[class]++
 			if t.magStart[class] == len(*mag) {
@@ -257,6 +261,26 @@ func (a *Arena) Alloc(t *Thread, cells, rawWords int) pmem.Addr {
 	if block := pmem.Addr(t.Read(a.heads[class])); block != pmem.NilAddr {
 		next := h.Load64(block + hdrNextOff + cellRecordOff)
 		t.Update(a.heads[class], next)
+		// Refill amortisation: while the lock is held and the magazine is
+		// empty, prefetch a small batch of further free blocks into it so the
+		// next allocations skip the lock entirely. Free-list blocks were
+		// freed in an already-durable epoch, so the epoch-0 stamp makes them
+		// immediately recyclable; the pops are undo-logged head updates, so a
+		// crash in this epoch restores the list (and the volatile magazine
+		// vanishes with it — prefetched blocks leak only if a later crash
+		// destroys them, the documented fate of any magazine-held block).
+		if mag := &t.magazines[class]; t.magStart[class] == len(*mag) {
+			*mag = (*mag)[:0]
+			t.magStart[class] = 0
+			for n := 1; n < freeListRefill; n++ {
+				b := pmem.Addr(t.Read(a.heads[class]))
+				if b == pmem.NilAddr {
+					break
+				}
+				t.Update(a.heads[class], h.Load64(b+hdrNextOff+cellRecordOff))
+				*mag = append(*mag, magazineEntry{block: b, epoch: 0})
+			}
+		}
 		if h.Load64(block+hdrLayoutOff+cellRecordOff) != layout {
 			// Recycled into a different shape: undo-log the layout so a
 			// crash restores the old shape for the recovery scan.
@@ -266,6 +290,10 @@ func (a *Arena) Alloc(t *Thread, cells, rawWords int) pmem.Addr {
 	}
 	return a.carveLocked(t, class, layout)
 }
+
+// freeListRefill bounds how many blocks one Alloc may prefetch from a class
+// free list into its empty magazine under a single lock acquisition.
+const freeListRefill = 16
 
 // carveLocked cuts a fresh block of the given class off the bump region and
 // writes its header. Caller holds a.mu.
@@ -282,7 +310,7 @@ func (a *Arena) carveLocked(t *Thread, class int, layout uint64) pmem.Addr {
 	// Header: a fresh carve is only reachable once the bump update
 	// persists, and the bump update is undo-logged, so plain initialising
 	// stores suffice — a crash in this epoch un-carves the block.
-	epoch := t.rt.epochCache.Load()
+	epoch := t.epoch()
 	h.Store64(block+hdrNextOff+cellRecordOff, 0)
 	h.Store64(block+hdrNextOff+cellBackupOff, 0)
 	h.Store64(block+hdrNextOff+cellEpochOff, epoch)
@@ -309,15 +337,21 @@ func (a *Arena) Free(t *Thread, payload pmem.Addr) {
 	a.frees.Add(1)
 	class, _, _ := unpackLayout(h.Load64(block + hdrLayoutOff + cellRecordOff))
 	mag := &t.magazines[class]
-	*mag = append(*mag, magazineEntry{block: block, epoch: t.rt.epochCache.Load()})
+	*mag = append(*mag, magazineEntry{block: block, epoch: t.epoch()})
 	if len(*mag)-t.magStart[class] > magazineCap {
-		spill := (*mag)[t.magStart[class] : t.magStart[class]+magazineCap/2]
+		// Spill the oldest half as one batch: grow pendingFree once, append
+		// the block addresses, and compact the magazine in place — no fresh
+		// backing array per overflow.
+		const half = magazineCap / 2
+		start := t.magStart[class]
+		spill := (*mag)[start : start+half]
 		t.magSpilled.Add(uint64(len(spill)))
+		t.pendingFree = slices.Grow(t.pendingFree, half)
 		for _, e := range spill {
 			t.pendingFree = append(t.pendingFree, e.block)
 		}
-		rest := append([]magazineEntry(nil), (*mag)[t.magStart[class]+magazineCap/2:]...)
-		*mag = rest
+		n := copy(*mag, (*mag)[start+half:])
+		*mag = (*mag)[:n]
 		t.magStart[class] = 0
 	}
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/bits"
+	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,8 +97,13 @@ func (rt *Runtime) cutAsync(ending uint64, start, gateDone time.Time) Checkpoint
 		if len(t.toFlush) > 0 {
 			job.addrs += len(t.toFlush)
 			job.lists = append(job.lists, t.toFlush)
-			t.toFlush = nil
+			// Hand the thread a recycled buffer (returned by a completed
+			// drain) so steady-state tracking never re-grows from nil.
+			t.toFlush = rt.takeSpareList()
 		}
+		// Invalidate every write-combining cache: epoch N+1 must re-register
+		// (and re-mark) even lines the stolen lists already cover.
+		t.trackGen++
 		if len(t.pendingFree) > 0 {
 			job.frees = append(job.frees, t.pendingFree...)
 			t.pendingFree = t.pendingFree[:0]
@@ -159,28 +166,43 @@ func (j *drainJob) run() {
 		rt.drainHook(j.ending, false)
 	}
 
+	// The drained (inactive) bitmap cannot swap back until this drain is
+	// joined, so one load pins it for the whole flush.
+	pend := rt.pendingBits[1-rt.activeBits.Load()]
+
 	var lines int64
-	if rt.cfg.SerialFlush || len(j.lists) <= 1 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(j.lists) {
+		workers = len(j.lists)
+	}
+	if rt.cfg.SerialFlush || workers <= 1 {
 		f := rt.drainFlusher(0)
 		before := f.Flushes()
 		for _, list := range j.lists {
-			j.flushList(f, list)
+			j.flushList(f, list, pend)
 		}
 		f.SFence()
 		lines = int64(f.Flushes() - before)
 	} else {
-		rt.drainFlusher(len(j.lists) - 1) // grow the cache before sharing it
+		rt.drainFlusher(workers - 1) // grow the cache before sharing it
+		var next atomic.Int32
 		var wg sync.WaitGroup
 		var lineCount atomic.Int64
-		for i, list := range j.lists {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(f *pmem.Flusher, list []pmem.Addr) {
+			go func(f *pmem.Flusher) {
 				defer wg.Done()
 				before := f.Flushes()
-				j.flushList(f, list)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(j.lists) {
+						break
+					}
+					j.flushList(f, j.lists[i], pend)
+				}
 				f.SFence()
 				lineCount.Add(int64(f.Flushes() - before))
-			}(rt.drainFlushers[i], list)
+			}(rt.drainFlushers[w])
 		}
 		wg.Wait()
 		lines = lineCount.Load()
@@ -230,24 +252,65 @@ func (j *drainJob) run() {
 	// closed.
 	rt.ckptMu.Lock()
 	rt.arena.pushBlocks(rt.sys, j.frees)
+	for _, l := range j.lists {
+		rt.spareLists = append(rt.spareLists, l[:0])
+	}
 	rt.drain.Store(nil)
 	rt.ckptMu.Unlock()
 	close(j.done)
 }
 
-// flushList queues the live lines of one stolen list on f. The pending-bit
-// test-and-clear arbitrates against flush-on-collision workers (and dedups
-// repeated addresses of the same line).
-func (j *drainJob) flushList(f *pmem.Flusher, list []pmem.Addr) {
-	rt := j.rt
-	for _, a := range list {
-		if inDead(j.dead, a) {
+// takeSpareList pops a recycled stolen-list buffer, or nil when none is
+// banked (the next append allocates one that will itself be recycled).
+// Caller holds ckptMu.
+func (rt *Runtime) takeSpareList() []pmem.Addr {
+	n := len(rt.spareLists)
+	if n == 0 {
+		return nil
+	}
+	l := rt.spareLists[n-1]
+	rt.spareLists = rt.spareLists[:n-1]
+	return l
+}
+
+// flushList queues the live lines of one stolen list on f, claiming pending
+// bits from pend a 64-bit word at a time: the list is sorted so all lines of
+// one bitmap word are adjacent, dead spans are elided by a merge walk, and a
+// single atomic And claims every surviving line of the word at once. The
+// claim arbitrates against flush-on-collision workers exactly as the old
+// per-address test-and-clear did — a bit cleared by a collision flush simply
+// does not come back from the And.
+func (j *drainJob) flushList(f *pmem.Flusher, list []pmem.Addr, pend []atomic.Uint64) {
+	slices.Sort(list)
+	dead := j.dead
+	di := 0
+	i := 0
+	for i < len(list) {
+		word := uint64(list[i]) / pmem.LineSize / 64
+		var mask uint64
+		for ; i < len(list); i++ {
+			a := list[i]
+			line := uint64(a) / pmem.LineSize
+			if line/64 != word {
+				break
+			}
+			for di < len(dead) && dead[di].end <= a {
+				di++
+			}
+			if di < len(dead) && dead[di].start <= a {
+				continue
+			}
+			mask |= 1 << (line % 64)
+		}
+		if mask == 0 {
 			continue
 		}
-		if !rt.clearPending(a) {
-			continue
+		claimed := claimBits(&pend[word], mask)
+		for claimed != 0 {
+			b := bits.TrailingZeros64(claimed)
+			claimed &= claimed - 1
+			f.CLWB(pmem.LineAddr(int(word*64) + b))
 		}
-		f.CLWB(a)
 	}
 }
 
@@ -275,13 +338,32 @@ func (rt *Runtime) markDirty(a pmem.Addr) {
 	}
 }
 
+// claimBits atomically clears the bits of mask that are set in *w and
+// returns them — the bits this caller claimed and must now write back.
+// Deliberately a Load-then-CAS loop rather than Uint64.And: the Load-first
+// test makes the common already-claimed case (dead lines, collision-flushed
+// lines) a single read with no bus-locked RMW, and the And intrinsic's
+// old-value result miscompiles under go1.24.0/amd64 in the drain's merge
+// loop (a live register is clobbered, wedging the walk).
+func claimBits(w *atomic.Uint64, mask uint64) uint64 {
+	for {
+		old := w.Load()
+		if old&mask == 0 {
+			return 0
+		}
+		if w.CompareAndSwap(old, old&^mask) {
+			return old & mask
+		}
+	}
+}
+
 // clearPending atomically claims a's bit in the drained bitmap (the inactive
 // buffer), reporting whether this caller won the line (and therefore must
 // write it back).
 func (rt *Runtime) clearPending(a pmem.Addr) bool {
 	line := uint64(a) / pmem.LineSize
 	mask := uint64(1) << (line % 64)
-	return rt.pendingBits[1-rt.activeBits.Load()][line/64].And(^mask)&mask != 0
+	return claimBits(&rt.pendingBits[1-rt.activeBits.Load()][line/64], mask) != 0
 }
 
 // DirtyLineBits exports the union of the double-buffered pending-line
@@ -322,9 +404,12 @@ func (rt *Runtime) DirtyLineCount() int {
 
 // guardLine is the flush-on-collision rule for plain tracked data: if an
 // in-flight drain still owes a's line to NVMM, flush it now, before the
-// caller's overwrite can destroy the cut image.
+// caller's overwrite can destroy the cut image. The check reads the thread's
+// cached drain flag (track.go): a drain can only start while the thread is
+// parked, and unparking refreshes the cache, so the flag cannot be stale-
+// false; stale-true just falls through to a pending-bit claim that fails.
 func (t *Thread) guardLine(a pmem.Addr) {
-	if !t.rt.drainLive.Load() {
+	if !t.drainPossible() {
 		return
 	}
 	t.flushCollision(a)
@@ -339,7 +424,7 @@ func (t *Thread) guardLine(a pmem.Addr) {
 // first.
 func (t *Thread) collideCell(a pmem.Addr, tag uint64) {
 	rt := t.rt
-	if !rt.drainLive.Load() {
+	if !t.drainPossible() {
 		return
 	}
 	if tag == rt.drainEpochN.Load() {

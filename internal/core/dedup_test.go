@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+// Write-combining semantics: a line registered many times per epoch enters
+// toFlush once, the dedup window resets exactly when the list is cleared or
+// stolen (sync flush, async cut, recovery), and the async-mode side effects
+// of a registration — dirty bit, collision guard — must keep firing even
+// when the registration itself is combined away.
+
+// TestWriteCombineRegistersOnce: N tracked stores to the same line append a
+// single toFlush entry, and the checkpoint still persists the final value.
+func TestWriteCombineRegistersOnce(t *testing.T) {
+	rt := newTestRuntime(t, 1, 0)
+	th := rt.Thread(0)
+	h := rt.Heap()
+	p := rt.Arena().AllocRaw(th, 8) // one line of words
+
+	n0 := len(th.toFlush)
+	for i := 0; i < 100; i++ {
+		// Different words of the same line: dedup is line-granular.
+		th.StoreTracked(p+pmem.Addr(i%8)*8, uint64(i))
+	}
+	if got := len(th.toFlush) - n0; got != 1 {
+		t.Fatalf("100 same-line stores registered %d entries, want 1", got)
+	}
+
+	mustCheckpointSolo(t, rt)
+	for i := 0; i < 8; i++ {
+		a := p + pmem.Addr(i)*8
+		if got, want := h.LoadPersistent64(a), h.Load64(a); got != want {
+			t.Fatalf("word %d not durable: persistent %#x, volatile %#x", i, got, want)
+		}
+	}
+}
+
+// TestWriteCombineAliasedLinesStayRegistered: two lines that collide in the
+// direct-mapped cache evict each other; every re-registration after a false
+// miss appends a duplicate, which downstream must tolerate (the flusher
+// coalesces). Correctness never depends on a cache hit.
+func TestWriteCombineAliasedLinesStayRegistered(t *testing.T) {
+	rt := newTestRuntime(t, 1, 32<<20)
+	th := rt.Thread(0)
+	h := rt.Heap()
+	// Two allocations lineCacheSlots lines apart alias the same slot. The
+	// arena won't hand out addresses that far apart from small allocations,
+	// so construct the alias from one large raw region.
+	words := (lineCacheSlots + 1) * (pmem.LineSize / 8)
+	p := rt.Arena().AllocRaw(th, words)
+	a := pmem.LineAddr(pmem.LineOf(p) + 1) // line-aligned inside the region
+	b := a + lineCacheSlots*pmem.LineSize
+
+	n0 := len(th.toFlush)
+	for i := 0; i < 4; i++ {
+		th.StoreTracked(a, uint64(10+i))
+		th.StoreTracked(b, uint64(20+i))
+	}
+	added := th.toFlush[n0:]
+	if len(added) != 8 {
+		t.Fatalf("alternating aliased stores registered %d entries, want 8 (every one a cache miss)", len(added))
+	}
+	mustCheckpointSolo(t, rt)
+	if got := h.LoadPersistent64(a); got != 13 {
+		t.Fatalf("aliased line a persisted %d, want 13", got)
+	}
+	if got := h.LoadPersistent64(b); got != 23 {
+		t.Fatalf("aliased line b persisted %d, want 23", got)
+	}
+}
+
+// TestWriteCombineResetsAcrossEpochs: the checkpoint clears toFlush, so the
+// same line stored in the next epoch must register (and flush) again — a
+// stale cache hit here would drop the epoch's only registration.
+func TestWriteCombineResetsAcrossEpochs(t *testing.T) {
+	rt := newTestRuntime(t, 1, 0)
+	th := rt.Thread(0)
+	h := rt.Heap()
+	p := rt.Arena().AllocRaw(th, 1)
+
+	th.StoreTracked(p, 1)
+	mustCheckpointSolo(t, rt)
+	if got := h.LoadPersistent64(p); got != 1 {
+		t.Fatalf("epoch 1 value not durable: %d", got)
+	}
+
+	if n := len(th.toFlush); n != 0 {
+		t.Fatalf("toFlush not cleared by checkpoint: %d entries", n)
+	}
+	th.StoreTracked(p, 2)
+	if n := len(th.toFlush); n != 1 {
+		t.Fatalf("re-store after checkpoint registered %d entries, want 1 (dedup must reset)", n)
+	}
+	mustCheckpointSolo(t, rt)
+	if got := h.LoadPersistent64(p); got != 2 {
+		t.Fatalf("epoch 2 value not durable: %d (registration was combined away across epochs)", got)
+	}
+}
+
+// TestWriteCombineResetsAcrossRecover: recovery hands out fresh thread
+// handles; a line tracked before the crash must register again on the
+// recovered runtime and reach NVMM at its next checkpoint.
+func TestWriteCombineResetsAcrossRecover(t *testing.T) {
+	h := pmem.New(pmem.Config{Size: 8 << 20})
+	rt, err := NewRuntime(h, Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.Thread(0)
+	p := rt.Arena().AllocRaw(th, 1)
+	th.StoreTracked(p, 1)
+	mustCheckpointSolo(t, rt)
+
+	rt2, _, err := Recover(h, Config{Threads: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := rt2.Thread(0)
+	n0 := len(th2.toFlush)
+	th2.StoreTracked(p, 2)
+	if got := len(th2.toFlush) - n0; got != 1 {
+		t.Fatalf("post-recovery store registered %d entries, want 1", got)
+	}
+	mustCheckpointSolo(t, rt2)
+	if got := h.LoadPersistent64(p); got != 2 {
+		t.Fatalf("post-recovery value not durable: %d", got)
+	}
+}
+
+// TestWriteCombineAsyncDirtyBits: under AsyncFlush the FIRST registration of
+// a line sets its bit in the active pending bitmap; combined-away re-stores
+// must leave the bit set. The cut relies on the bitmap alone — a cleared or
+// never-set bit is a line the drain never writes back.
+func TestWriteCombineAsyncDirtyBits(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, false)
+	th := rt.Thread(0)
+	h := rt.Heap()
+	p := rt.Arena().AllocRaw(th, 1)
+
+	n0 := len(th.toFlush)
+	th.StoreTracked(p, 1)
+	th.StoreTracked(p, 2) // combined away
+	th.StoreTracked(p, 3) // combined away
+	if got := len(th.toFlush) - n0; got != 1 {
+		t.Fatalf("3 same-line stores registered %d entries, want 1", got)
+	}
+	line := pmem.LineOf(p)
+	bits := rt.pendingBits[rt.activeBits.Load()]
+	if bits[line/64].Load()&(1<<(uint(line)%64)) == 0 {
+		t.Fatal("line not marked dirty in the active bitmap after deduped stores")
+	}
+
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain()
+	if got := h.LoadPersistent64(p); got != 3 {
+		t.Fatalf("drained value = %d, want 3", got)
+	}
+}
+
+// TestWriteCombineCollisionGuardOnDedupedStore: with a drain stalled mid
+// write-back, the first post-cut store to a pending line claims and flushes
+// it (flush-on-collision) and a second, combined-away store to the same line
+// must still run the guard — and must NOT re-flush, which would overwrite
+// the cut's NVMM image with the running epoch's value.
+func TestWriteCombineCollisionGuardOnDedupedStore(t *testing.T) {
+	rt := newAsyncRuntime(t, 1, false)
+	h := rt.Heap()
+	th := rt.Thread(0)
+	p := rt.Arena().AllocRaw(th, 1)
+	th.StoreTracked(p, 30)
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain()
+
+	th.StoreTracked(p, 31) // tracked in the running epoch
+	entered, release := stallDrain(rt)
+	mustCheckpointSolo(t, rt)
+	<-entered
+
+	n0 := len(th.toFlush)
+	th.StoreTracked(p, 40) // collides: claims the pending line, flushes 31
+	th.StoreTracked(p, 41) // deduped registration, guard still runs
+	if got := len(th.toFlush) - n0; got != 1 {
+		t.Fatalf("post-cut stores registered %d entries, want 1", got)
+	}
+	if rt.Stats().CollisionFlushes != 1 {
+		t.Fatalf("collision flushes = %d, want exactly 1 (the deduped store must not re-flush)", rt.Stats().CollisionFlushes)
+	}
+	if got := h.LoadPersistent64(p); got != 31 {
+		t.Fatalf("persistent word = %d, want the cut value 31", got)
+	}
+
+	close(release)
+	rt.WaitDrain()
+	if got := h.LoadPersistent64(p); got != 31 {
+		t.Fatalf("persistent word = %d after drain, want 31 (drain overwrote a claimed line)", got)
+	}
+	mustCheckpointSolo(t, rt)
+	rt.WaitDrain()
+	if got := h.LoadPersistent64(p); got != 41 {
+		t.Fatalf("persistent word = %d after next checkpoint, want 41", got)
+	}
+}

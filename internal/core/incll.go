@@ -62,7 +62,7 @@ func (t *Thread) Init(v InCLL, val uint64) {
 	h := t.rt.heap
 	h.Store64(v.addr+cellRecordOff, val)
 	h.Store64(v.addr+cellBackupOff, val)
-	h.Store64(v.addr+cellEpochOff, t.rt.epochCache.Load())
+	h.Store64(v.addr+cellEpochOff, t.epoch())
 	t.AddModified(v.addr)
 }
 
@@ -76,7 +76,9 @@ func (t *Thread) Init(v InCLL, val uint64) {
 // error, exactly as in the paper.
 func (t *Thread) Update(v InCLL, val uint64) {
 	h := t.rt.heap
-	epoch := t.rt.epochCache.Load()
+	// The thread's cached epoch is exact: the epoch only advances while the
+	// thread is parked, and unparking refreshes the cache (track.go).
+	epoch := t.epoch()
 	if tag := h.Load64(v.addr + cellEpochOff); tag != epoch {
 		if t.rt.asyncOn {
 			// A drain may still owe this cell's line to NVMM, and if the

@@ -56,7 +56,7 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 	}
 	rt := &Runtime{heap: h, cfg: cfg}
 	rt.sysFlusher = h.NewFlusher()
-	rt.sys = &Thread{rt: rt, id: -1}
+	rt.sys = newThread(rt, -1)
 
 	arena := newArenaView(rt)
 	if err := arena.checkFormatMarker(); err != nil {
@@ -227,7 +227,7 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 	rt.flags = make([]flagSlot, cfg.Threads)
 	rt.threads = make([]*Thread, cfg.Threads)
 	for i := 0; i < cfg.Threads; i++ {
-		t := &Thread{rt: rt, id: i}
+		t := newThread(rt, i)
 		if addr := h.Load64(arena.rpSlot(i)); addr != 0 {
 			t.rpID = InCLLAt(pmem.Addr(addr))
 		} else {
@@ -240,6 +240,10 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 		rt.threads[i] = t
 	}
 	rt.finishInit()
+	// Fresh thread handles start with zeroed epoch caches; seed them before
+	// the handles are handed out (execution resumes in the failed epoch, so
+	// nothing changes the shared counters between here and the first store).
+	rt.refreshThreadCaches()
 
 	rep.Duration = time.Since(start)
 	var drainedAux uint64

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,6 +130,16 @@ type Runtime struct {
 	ckptMu     sync.Mutex
 	sysFlusher *pmem.Flusher // guarded by ckptMu
 
+	// Checkpoint scratch, reused across epochs so steady-state checkpoints
+	// allocate nothing. All guarded by ckptMu (deadScratch is additionally
+	// held by an async drain until it completes, and Checkpoint joins any
+	// in-flight drain before reusing it).
+	deadScratch  []deadRange     // deadRanges result buffer
+	deadKeys     []uint64        // deadRanges packed sort keys
+	flushQueue   []*Thread       // flushModified's non-empty-list worklist
+	poolFlushers []*pmem.Flusher // sync flush worker pool, one per worker
+	spareLists   [][]pmem.Addr   // stolen toFlush buffers returned by drains
+
 	// Asynchronous checkpointing state (Config.AsyncFlush; see async.go).
 	asyncOn       bool                     // AsyncFlush && !SkipFlush, frozen at construction
 	durableEpoch  atomic.Uint64            // epoch counter as persisted in NVMM (≤ epochCache)
@@ -195,14 +205,27 @@ type Thread struct {
 	rpID        InCLL
 	rpCalls     uint64
 
+	// Write-combining line cache (track.go): registrations of a line already
+	// seen at the current generation are dropped. The generation bumps
+	// whenever toFlush is cleared or stolen (resetTracking).
+	dedup     bool // !DisableTracking, frozen at construction
+	trackGen  uint64
+	lineCache []lineSlot
+
+	// Cached epoch state (track.go): exact copies of epochCache /
+	// durableEpoch / drainLive refreshed at park/unpark boundaries, so the
+	// tracked-store fast path does no atomic loads. Owner-goroutine only.
+	epochCached   uint64
+	durableCached uint64
+	drainCached   bool
+
 	// magazines cache freed blocks per size class for lock-free recycling
 	// by the owning thread (see Arena.Free). magStart is the pop cursor.
 	magazines [numClasses][]magazineEntry
 	magStart  [numClasses]int
 
-	// flusher is this thread's cached write-back handle, used only inside
-	// checkpoints (the flusher pool) — reusing it keeps its pending buffer
-	// warm across epochs.
+	// flusher is this thread's cached write-back handle, used by async
+	// flush-on-collision — reusing it keeps its pending buffer warm.
 	flusher *pmem.Flusher
 
 	// Magazine activity counters. Atomics only because Stats may read them
@@ -229,7 +252,7 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 	}
 	rt := &Runtime{heap: h, cfg: cfg}
 	rt.sysFlusher = h.NewFlusher()
-	rt.sys = &Thread{rt: rt, id: -1}
+	rt.sys = newThread(rt, -1)
 	rt.epochCache.Store(1)
 	rt.durableEpoch.Store(1)
 	h.Store64(h.EpochAddr(), 1)
@@ -246,7 +269,7 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 	rt.flags = make([]flagSlot, cfg.Threads)
 	rt.threads = make([]*Thread, cfg.Threads)
 	for i := 0; i < cfg.Threads; i++ {
-		t := &Thread{rt: rt, id: i}
+		t := newThread(rt, i)
 		cell, err := arena.allocRPCell(rt.sys, i)
 		if err != nil {
 			return nil, err
@@ -266,7 +289,7 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 	for _, a := range rt.sys.toFlush {
 		rt.sysFlusher.CLWB(a)
 	}
-	rt.sys.toFlush = rt.sys.toFlush[:0]
+	rt.sys.resetTracking()
 	rt.sysFlusher.SFence()
 	h.Annotate("epoch-commit", 2)
 	h.Store64(h.EpochAddr(), 2)
@@ -274,6 +297,7 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 	rt.durableEpoch.Store(2)
 	rt.sysFlusher.Persist(h.EpochAddr())
 	arena.persistFormatMarker(rt.sysFlusher)
+	rt.refreshThreadCaches()
 	rt.flight.Record(telemetry.FlightFormat, 2, uint64(cfg.Threads), 0)
 	return rt, nil
 }
@@ -439,58 +463,6 @@ func (t *Thread) Runtime() *Runtime { return t.rt }
 // the application where to resume.
 func (t *Thread) RPID() InCLL { return t.rpID }
 
-// AddModified registers a modified persistent address for flushing at the
-// next checkpoint (paper add_modified, Fig. 4 lines 12-13). InCLL updates
-// call it automatically on the first update per epoch; plain (RAW-only)
-// persistent stores must call it explicitly right after the write, under the
-// same exclusion that protected the write.
-func (t *Thread) AddModified(a pmem.Addr) {
-	t.toFlush = append(t.toFlush, a)
-	if t.rt.asyncOn {
-		// Marking the line dirty here, at tracking time, is what keeps the
-		// async cut O(threads): the checkpoint swaps bitmaps instead of
-		// walking every tracked address under the parked world.
-		t.rt.markDirty(a)
-	}
-}
-
-// AddModifiedRange registers every cache line overlapping [a, a+n). Under
-// AsyncFlush it is only a correct idiom for freshly allocated or append-only
-// data: the collision guard flushes a still-pending line *after* the caller's
-// writes, which preserves the previous cut's words only if they were not
-// overwritten. Plain overwrites of pre-existing words must go through
-// StoreTracked, which guards before the store.
-func (t *Thread) AddModifiedRange(a pmem.Addr, n int) {
-	if n <= 0 {
-		return
-	}
-	first := pmem.LineOf(a)
-	last := pmem.LineOf(a + pmem.Addr(n) - 1)
-	async := t.rt.asyncOn
-	for line := first; line <= last; line++ {
-		la := pmem.LineAddr(line)
-		if async {
-			t.guardLine(la)
-			t.rt.markDirty(la)
-		}
-		t.toFlush = append(t.toFlush, la)
-	}
-}
-
-// StoreTracked writes a plain persistent word and registers it for flushing.
-// It is the idiom for RAW-only persistent data (no WAR dependency, so no
-// undo log needed — paper §3.3.2 and Fig. 6b line 6). Under AsyncFlush the
-// store first flushes the word's line if an in-flight drain still owes it to
-// NVMM (flush-on-collision), so the previous cut can never lose the line's
-// pre-overwrite image.
-func (t *Thread) StoreTracked(a pmem.Addr, v uint64) {
-	if t.rt.asyncOn {
-		t.guardLine(a)
-	}
-	t.rt.heap.Store64(a, v)
-	t.AddModified(a)
-}
-
 // Load reads a persistent word.
 func (t *Thread) Load(a pmem.Addr) uint64 { return t.rt.heap.Load64(a) }
 
@@ -505,7 +477,14 @@ func (t *Thread) RP(id uint64) {
 			runtime.Gosched()
 		}
 		t.rt.unpark(t.id)
+		t.refreshEpochState()
 		return
+	}
+	if t.rt.asyncOn {
+		// A drain may have committed since the last boundary; re-reading the
+		// flag here (one load per RP, not per store) lets the collision guard
+		// go back to its atomics-free no-drain path.
+		t.drainCached = t.rt.drainLive.Load()
 	}
 	// On few-core hosts a tight RP loop can starve the checkpointer (real
 	// hardware threads in the paper's setup run truly in parallel); yield
@@ -561,6 +540,10 @@ func (t *Thread) CheckpointPrevent(mu sync.Locker) {
 		}
 		t.rt.unpark(t.id)
 	}
+	// A checkpoint may have run during the allow window; with our flag down
+	// again, the epoch state is frozen until the next park, so the refreshed
+	// cache is exact.
+	t.refreshEpochState()
 }
 
 // CondWait waits on c with the full Fig. 7 protocol: allow checkpoints,
@@ -635,7 +618,7 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 	} else {
 		for _, t := range rt.allThreads() {
 			addrs += len(t.toFlush)
-			t.toFlush = t.toFlush[:0]
+			t.resetTracking()
 		}
 	}
 	flushDone := time.Now()
@@ -692,6 +675,10 @@ func (rt *Runtime) allThreads() []*Thread { return rt.all }
 // deadRange is the payload span of a block freed during the ending epoch.
 type deadRange struct{ start, end pmem.Addr }
 
+// deadLenBits is the width of the length-in-lines field of a packed dead-range
+// sort key; 21 bits cover the largest size class (64 MiB).
+const deadLenBits = 21
+
 // deadRanges collects the payload spans of every block freed during the
 // epoch this checkpoint is closing. Such a block is unreachable at the
 // checkpoint's cut (Free defers recycling to the next epoch), so payload
@@ -704,81 +691,135 @@ type deadRange struct{ start, end pmem.Addr }
 // tail.
 func (rt *Runtime) deadRanges() []deadRange {
 	ending := rt.epochCache.Load()
-	var rs []deadRange
+	// Spans are packed into single uint64 sort keys — start line in the high
+	// bits, length in lines in the low deadLenBits — so the sort runs on the
+	// specialised uint64 path instead of a comparator over two-word structs.
+	// Both fields fit by construction: blocks are line-aligned, the largest
+	// class is 64 MiB (2^20 lines), and heaps are far below 2^43 lines.
+	keys := rt.deadKeys[:0]
 	for _, t := range rt.allThreads() {
 		for c := range t.magazines {
 			mag := t.magazines[c]
-			size := pmem.Addr(classSize(c))
+			lenLines := uint64(classSize(c)-headerSize) / pmem.LineSize
 			for i := len(mag) - 1; i >= t.magStart[c]; i-- {
 				if mag[i].epoch != ending {
 					break
 				}
-				rs = append(rs, deadRange{mag[i].block + headerSize, mag[i].block + size})
+				start := uint64(mag[i].block + headerSize)
+				keys = append(keys, (start/pmem.LineSize)<<deadLenBits|lenLines)
 			}
 		}
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].start < rs[j].start })
+	slices.Sort(keys)
+	rt.deadKeys = keys
+	rs := rt.deadScratch[:0]
+	for _, k := range keys {
+		start := pmem.Addr((k >> deadLenBits) * pmem.LineSize)
+		rs = append(rs, deadRange{start, start + pmem.Addr(k&(1<<deadLenBits-1))*pmem.LineSize})
+	}
+	rt.deadScratch = rs
 	return rs
 }
 
-// inDead reports whether a falls inside one of the sorted, disjoint spans.
-func inDead(rs []deadRange, a pmem.Addr) bool {
-	i := sort.Search(len(rs), func(i int) bool { return rs[i].end > a })
-	return i < len(rs) && rs[i].start <= a
+// flushInto queues one thread's live tracked lines on f. The list is left
+// unsorted: write-combining already de-duplicated it at registration time,
+// and the flusher's own SFence sort-coalesces whatever duplicates remain, so
+// sorting here would only repeat work the fence does anyway. Dead spans are
+// elided by an inline binary search over the (sorted, disjoint, line-aligned)
+// ranges — read-only probes, no comparator calls.
+func flushInto(f *pmem.Flusher, list []pmem.Addr, dead []deadRange) {
+	if len(dead) == 0 {
+		for _, a := range list {
+			f.CLWB(a)
+		}
+		return
+	}
+	for _, a := range list {
+		// Find the last span starting at or before a; a is dead iff it falls
+		// before that span's end (spans cover whole lines, and headers — one
+		// full line — are excluded, so any overlap decides the line).
+		lo, hi := 0, len(dead)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if dead[mid].start <= a {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 && a < dead[lo-1].end {
+			continue
+		}
+		f.CLWB(a)
+	}
 }
 
 // flushModified drains every thread's to-be-flushed list, writing the
 // corresponding cache lines back to NVMM — except lines that live wholly
-// inside blocks freed during the ending epoch (see deadRanges). One flusher
-// goroutine per non-empty list unless SerialFlush is set (paper: "a pool of
-// flusher threads flushes data to NVMM in parallel during checkpoints").
+// inside blocks freed during the ending epoch (see deadRanges). The parallel
+// path runs at most GOMAXPROCS worker goroutines that steal whole lists off a
+// shared cursor (paper: "a pool of flusher threads flushes data to NVMM in
+// parallel during checkpoints") — one goroutine per list degrades on few-core
+// hosts, and on a single core the serial path avoids the spawns entirely.
 func (rt *Runtime) flushModified() (addrs, lines int) {
-	all := rt.allThreads()
 	dead := rt.deadRanges()
-	if rt.cfg.SerialFlush {
-		f := rt.sysFlusher
-		for _, t := range all {
+	queue := rt.flushQueue[:0]
+	for _, t := range rt.allThreads() {
+		if len(t.toFlush) > 0 {
 			addrs += len(t.toFlush)
-			for _, a := range t.toFlush {
-				if !inDead(dead, a) {
-					f.CLWB(a)
-				}
-			}
-			t.toFlush = t.toFlush[:0]
+			queue = append(queue, t)
 		}
+	}
+	rt.flushQueue = queue
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queue) {
+		workers = len(queue)
+	}
+	if rt.cfg.SerialFlush || workers <= 1 {
+		f := rt.sysFlusher
 		before := f.Flushes()
+		for _, t := range queue {
+			flushInto(f, t.toFlush, dead)
+			t.resetTracking()
+		}
 		f.SFence()
-		lines = int(f.Flushes() - before)
-		return addrs, lines
+		return addrs, int(f.Flushes() - before)
 	}
 
-	var wg sync.WaitGroup
+	var next atomic.Int32
 	var lineCount atomic.Int64
-	for _, t := range all {
-		if len(t.toFlush) == 0 {
-			continue
-		}
-		addrs += len(t.toFlush)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		f := rt.poolFlusher(w)
 		wg.Add(1)
-		go func(t *Thread) {
+		go func(f *pmem.Flusher) {
 			defer wg.Done()
-			if t.flusher == nil {
-				t.flusher = rt.heap.NewFlusher()
-			}
-			f := t.flusher
 			before := f.Flushes()
-			for _, a := range t.toFlush {
-				if !inDead(dead, a) {
-					f.CLWB(a)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queue) {
+					break
 				}
+				t := queue[i]
+				flushInto(f, t.toFlush, dead)
+				t.resetTracking()
 			}
 			f.SFence()
 			lineCount.Add(int64(f.Flushes() - before))
-			t.toFlush = t.toFlush[:0]
-		}(t)
+		}(f)
 	}
 	wg.Wait()
 	return addrs, int(lineCount.Load())
+}
+
+// poolFlusher returns the w-th cached flush-pool flusher, growing the cache
+// as needed. Guarded by ckptMu (only checkpoints use the pool).
+func (rt *Runtime) poolFlusher(w int) *pmem.Flusher {
+	for len(rt.poolFlushers) <= w {
+		rt.poolFlushers = append(rt.poolFlushers, rt.heap.NewFlusher())
+	}
+	return rt.poolFlushers[w]
 }
 
 // Stats returns cumulative checkpoint statistics.

@@ -84,7 +84,7 @@ func (s *RespctStore) newRecord(th int, next pmem.Addr, key string, value []byte
 	h := s.rt.Heap()
 	h.Store64(raw, uint64(len(key))<<32|uint64(len(value)))
 	keyBase := raw + 8
-	h.StoreBytes(keyBase, []byte(key))
+	h.StoreString(keyBase, key)
 	valBase := keyBase + pmem.Addr((len(key)+7)/8*8)
 	h.StoreBytes(valBase, value)
 	t.AddModifiedRange(raw, 8+(len(key)+7)/8*8+(len(value)+7)/8*8)
@@ -97,6 +97,17 @@ func (s *RespctStore) recKey(rec pmem.Addr) string {
 	raw := core.RawBase(rec, 1)
 	kl := int(s.rt.Heap().Load64(raw) >> 32)
 	return string(s.rt.Heap().LoadBytes(raw+8, kl))
+}
+
+// keyIs reports whether rec's key equals key without materialising it — the
+// per-probe comparison of every chain walk, kept allocation-free.
+func (s *RespctStore) keyIs(rec pmem.Addr, key string) bool {
+	raw := core.RawBase(rec, 1)
+	h := s.rt.Heap()
+	if int(h.Load64(raw)>>32) != len(key) {
+		return false
+	}
+	return h.EqualString(raw+8, key)
 }
 
 func (s *RespctStore) recValue(rec pmem.Addr) []byte {
@@ -125,7 +136,7 @@ func (s *RespctStore) Set(th int, key string, value []byte) {
 	var prev core.InCLL
 	for rec := pmem.Addr(head); rec != pmem.NilAddr; {
 		next := s.rt.ReadAddr(s.recNext(rec))
-		if s.recKey(rec) == key {
+		if s.keyIs(rec, key) {
 			n := s.newRecord(th, next, key, value)
 			if prev.IsNil() {
 				s.index.Insert(th, hash, uint64(n))
@@ -154,7 +165,7 @@ func (s *RespctStore) Get(th int, key string) ([]byte, bool) {
 		return nil, false
 	}
 	for rec := pmem.Addr(head); rec != pmem.NilAddr; rec = s.rt.ReadAddr(s.recNext(rec)) {
-		if s.recKey(rec) == key {
+		if s.keyIs(rec, key) {
 			return s.recValue(rec), true
 		}
 	}
@@ -175,7 +186,7 @@ func (s *RespctStore) Delete(th int, key string) bool {
 	var prev core.InCLL
 	for rec := pmem.Addr(head); rec != pmem.NilAddr; {
 		next := s.rt.ReadAddr(s.recNext(rec))
-		if s.recKey(rec) == key {
+		if s.keyIs(rec, key) {
 			if prev.IsNil() {
 				if next == pmem.NilAddr {
 					s.index.Remove(th, hash)
