@@ -1,6 +1,7 @@
 // Command kvserver runs the Memcached-like key-value store of §5.3 on
-// simulated NVMM with ResPCT checkpointing, speaking the text protocol on a
-// TCP port. With -shards N the key space is partitioned across N independent
+// simulated NVMM with ResPCT checkpointing, speaking the text protocol and
+// the pipelined binary protocol (docs/WIRE-PROTOCOL.md) on one TCP port,
+// negotiated per connection by its first byte (restrict with -protocol). With -shards N the key space is partitioned across N independent
 // heap+runtime shards (see internal/shard): checkpoints are staggered
 // round-robin so at most one shard stalls at a time, or synchronized with
 // -sync. On SIGINT/SIGTERM it snapshots each shard's persistent image to
@@ -23,7 +24,8 @@
 //	kvserver [-addr :11222] [-workers 4] [-shards 1] [-sync] [-async]
 //	         [-buckets 1048576] [-interval 64ms] [-heap 2147483648]
 //	         [-snapshot kv.img] [-snapshot-format image|frames]
-//	         [-snapshot-workers 0] [-metrics :9090] [-transient]
+//	         [-snapshot-workers 0] [-metrics :9090] [-protocol auto]
+//	         [-transient]
 //
 // -async switches every shard runtime to asynchronous checkpointing: workers
 // pause only for the cut, the flush and the durable epoch commit run in the
@@ -73,18 +75,26 @@ func main() {
 	snapshotFormat := flag.String("snapshot-format", "image", `shutdown snapshot format: "image" (legacy whole-image files) or "frames" (parallel frame sets with incremental deltas)`)
 	snapshotWorkers := flag.Int("snapshot-workers", 0, "parallel frame encoders per shard for -snapshot-format=frames (0 = GOMAXPROCS)")
 	metricsAddr := flag.String("metrics", "", "serve telemetry on this address (/metrics, /metrics.json, /debug/pprof/); empty disables instrumentation")
+	protocol := flag.String("protocol", "auto", `accepted wire protocols: "auto" (negotiate per connection by first byte), "text" or "binary"`)
 	transient := flag.Bool("transient", false, "run the non-fault-tolerant store instead")
 	flag.Parse()
 
+	proto, err := kv.ParseProtocol(*protocol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
 	newServer := func(store kv.Store) (*kv.Server, error) {
-		if reg != nil {
-			return kv.NewServerWithMetrics(store, *workers, *addr, reg)
-		}
-		return kv.NewServer(store, *workers, *addr)
+		return kv.NewServerOpts(store, kv.Options{
+			Workers:  *workers,
+			Addr:     *addr,
+			Protocol: proto,
+			Metrics:  reg,
+		})
 	}
 
 	if *transient {

@@ -61,6 +61,8 @@ func TestDurabilityAcrossCrashPoints(t *testing.T) {
 		{"kv-async", 30},
 		{"shard-2-staggered", 30},
 		{"kv-frames", 30},
+		{"kv-batch-sync", 30},
+		{"kv-batch-async", 30},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -1,6 +1,7 @@
 package crashexplore
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"github.com/respct/respct/internal/pmem"
 	"github.com/respct/respct/internal/shard"
 	"github.com/respct/respct/internal/structures"
+	"github.com/respct/respct/internal/wire"
 )
 
 // State is the canonical logical state of one heap: a flat string→string
@@ -96,6 +98,13 @@ var builders = map[string]func() Workload{
 	"kv-frames": func() Workload {
 		return &kvFramesWorkload{name: "kv-frames", batches: 4, opsPerBatch: 8, keySpace: 10,
 			crashBudget: 100}
+	},
+	"kv-batch-sync": func() Workload {
+		return &kvBatchWorkload{name: "kv-batch-sync", frames: 3, opsPerFrame: 8, keySpace: 10}
+	},
+	"kv-batch-async": func() Workload {
+		return &kvBatchWorkload{name: "kv-batch-async", async: true, collide: true,
+			frames: 3, opsPerFrame: 6, keySpace: 8}
 	},
 }
 
@@ -443,6 +452,134 @@ func (r *shardRun) Recover() ([]Recovered, error) {
 		}
 	}
 	return out, nil
+}
+
+// kvBatchWorkload drives kv.RespctStore through the server's binary batch
+// path: each round encodes a multi-op request frame with the wire codec,
+// decodes it, and executes it whole with kv.ApplyFrame — the code a
+// kv.Server worker runs for a pipelined client, under one checkpoint-prevent
+// window per frame. The async variant applies a further frame while the
+// previous epoch's drain is parked on a gate: a client batch in flight
+// across the checkpoint cut. The checker then proves batched execution is
+// atomic w.r.t. the certified epoch the same way single ops are — every
+// crash point recovers to a certified checkpoint state, never to a state
+// only reachable by splitting a frame across the cut.
+type kvBatchWorkload struct {
+	name        string
+	async       bool
+	collide     bool // async only: apply a frame while the drain is parked
+	frames      int
+	opsPerFrame int
+	keySpace    int
+}
+
+func (w *kvBatchWorkload) Name() string { return w.name }
+
+func (w *kvBatchWorkload) Setup(rec *pmem.Recorder) (Run, error) {
+	h := explorerHeap()
+	rt, err := core.NewRuntime(h, explorerCoreConfig(w.async))
+	if err != nil {
+		return nil, err
+	}
+	st, err := kv.NewRespctStore(rt, 0, 128)
+	if err != nil {
+		return nil, err
+	}
+	r := &kvBatchRun{w: w, h: h, rt: rt, st: st, certified: Certified{}}
+	rt.SetQuiescedHook(func(ending uint64) {
+		r.certified[ending] = State(st.SnapshotLogical())
+	})
+	initialCheckpoint(rt, w.async)
+	rec.Attach(h)
+	return r, nil
+}
+
+type kvBatchRun struct {
+	w         *kvBatchWorkload
+	h         *pmem.Heap
+	rt        *core.Runtime
+	st        *kv.RespctStore
+	certified Certified
+}
+
+// buildFrame encodes one deterministic request batch and decodes it back,
+// exactly as a frame arrives at a server worker.
+func (r *kvBatchRun) buildFrame(rng *rand.Rand, round int, f *wire.ReqFrame) error {
+	var b wire.ReqBuilder
+	for i := 0; i < r.w.opsPerFrame; i++ {
+		key := fmt.Sprintf("key-%02d", rng.Intn(r.w.keySpace))
+		switch rng.Intn(5) {
+		case 0:
+			b.Delete(key)
+		case 1:
+			b.Get(key)
+		default:
+			b.Set(key, []byte(fmt.Sprintf("v%d-%d", round, i)))
+		}
+	}
+	return f.Decode(bytes.NewReader(b.Bytes()))
+}
+
+func (r *kvBatchRun) Execute() error {
+	w := r.w
+	rt, st := r.rt, r.st
+	t := rt.Thread(0)
+	rng := rand.New(rand.NewSource(23))
+	var f wire.ReqFrame
+	var resp wire.RespBuilder
+	var gate chan struct{}
+	if w.async && w.collide {
+		rt.SetDrainHook(func(_ uint64, preCommit bool) {
+			if !preCommit {
+				<-gate
+			}
+		})
+	}
+	for round := 0; round < w.frames; round++ {
+		if err := r.buildFrame(rng, round, &f); err != nil {
+			return err
+		}
+		resp.Reset()
+		// The whole frame executes inside this goroutine's prevent window,
+		// mirroring Server.handleBatch.
+		if err := kv.ApplyFrame(st, 0, &f, &resp); err != nil {
+			return err
+		}
+		gate = make(chan struct{})
+		t.CheckpointAllow()
+		rt.Checkpoint()
+		t.CheckpointPrevent(nil)
+		if w.async {
+			if w.collide {
+				// The in-flight batch: a whole frame of first-updates applied
+				// while the previous epoch's drain is parked on the gate.
+				if err := r.buildFrame(rng, 100+round, &f); err != nil {
+					return err
+				}
+				resp.Reset()
+				if err := kv.ApplyFrame(st, 0, &f, &resp); err != nil {
+					return err
+				}
+				close(gate)
+			}
+			rt.WaitDrain()
+		}
+	}
+	return nil
+}
+
+func (r *kvBatchRun) Certified(int) Certified { return r.certified }
+
+func (r *kvBatchRun) Recover() ([]Recovered, error) {
+	rt2, rep, err := core.Recover(r.h, explorerCoreConfig(r.w.async), 1)
+	if err != nil {
+		return nil, err
+	}
+	st2, err := kv.OpenRespctStore(rt2, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []Recovered{{FailedEpoch: rep.FailedEpoch, State: State(st2.SnapshotLogical())}}, nil
 }
 
 // initialCheckpoint makes a freshly-built single-runtime workload durable

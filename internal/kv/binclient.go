@@ -1,0 +1,227 @@
+package kv
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"github.com/respct/respct/internal/wire"
+)
+
+// ErrClientClosed is returned by BinaryClient calls after Close.
+var ErrClientClosed = errors.New("kv: binary client closed")
+
+// BinaryClient speaks the binary protocol (internal/wire) with pipelining:
+// queue any number of operations into the current batch, Send the batch
+// without waiting, and collect each batch's results later through its
+// Future. Responses arrive in send order; a background reader goroutine
+// completes Futures as frames come back, so many batches can be in flight
+// at once.
+//
+// Like Client, a BinaryClient is for a single application goroutine; only
+// the internal reader runs concurrently.
+type BinaryClient struct {
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	b      wire.ReqBuilder
+	closed bool
+
+	inflight   chan *Future // FIFO of sent-but-unanswered batches
+	readerDone chan struct{}
+}
+
+// BatchResult is one operation's outcome, in batch order. Value is set only
+// for StatusValue results and is owned by the caller.
+type BatchResult struct {
+	Status byte
+	Value  []byte
+}
+
+// Future is the deferred reply of one pipelined batch.
+type Future struct {
+	ops     int
+	done    chan struct{}
+	results []BatchResult
+	err     error
+}
+
+// Wait blocks until the batch's response frame has been decoded and returns
+// its results, one per queued operation in order.
+func (f *Future) Wait() ([]BatchResult, error) {
+	<-f.done
+	return f.results, f.err
+}
+
+// DialBinary connects a binary-protocol client to addr. maxInflight bounds
+// the sent-but-unanswered batches (Send blocks at the bound); 0 means a
+// sensible default.
+func DialBinary(addr string, maxInflight int) (*BinaryClient, error) {
+	if maxInflight <= 0 {
+		maxInflight = 128
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &BinaryClient{
+		conn:       conn,
+		r:          bufio.NewReader(conn),
+		w:          bufio.NewWriter(conn),
+		inflight:   make(chan *Future, maxInflight),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Queue exposes the batch under construction; append operations with its
+// Get/Set/Delete methods, then Send the batch.
+func (c *BinaryClient) Queue() *wire.ReqBuilder { return &c.b }
+
+// Send writes the queued batch to the server and returns its Future without
+// waiting for the response. The batch builder is reset for the next batch.
+// Sending an empty batch is legal and yields an empty result set.
+func (c *BinaryClient) Send() (*Future, error) {
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	fut := &Future{ops: c.b.Ops(), done: make(chan struct{})}
+	if _, err := c.w.Write(c.b.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	c.b.Reset()
+	c.inflight <- fut
+	return fut, nil
+}
+
+// readLoop decodes response frames in FIFO send order, completing one
+// Future per frame. On any decode failure the connection is dead: the loop
+// fails the current and all later Futures and closes the socket so pending
+// Sends error out.
+func (c *BinaryClient) readLoop() {
+	defer close(c.readerDone)
+	var f wire.RespFrame
+	for fut := range c.inflight {
+		err := c.decodeInto(&f, fut)
+		fut.err = err
+		close(fut.done)
+		if err != nil {
+			c.conn.Close()
+			for rest := range c.inflight {
+				rest.err = err
+				close(rest.done)
+			}
+			return
+		}
+	}
+}
+
+// decodeInto reads one response frame and materializes fut's results,
+// copying values out of the frame's reused buffer.
+func (c *BinaryClient) decodeInto(f *wire.RespFrame, fut *Future) error {
+	if err := f.Decode(c.r); err != nil {
+		return err
+	}
+	if f.Ops() != fut.ops {
+		return fmt.Errorf("kv: response carries %d results for a %d-op batch", f.Ops(), fut.ops)
+	}
+	// Values are packed into one arena so a batch costs a fixed number of
+	// allocations regardless of its op count. The arena may move while
+	// growing, so sub-slices are only taken after the last append.
+	type span struct {
+		status byte
+		off, n int
+		value  bool
+	}
+	spans := make([]span, 0, f.Ops())
+	var arena []byte
+	for i := 0; i < f.Ops(); i++ {
+		r, err := f.Next()
+		if err != nil {
+			return err
+		}
+		sp := span{status: r.Status, off: len(arena), n: len(r.Value), value: r.Status == wire.StatusValue}
+		arena = append(arena, r.Value...)
+		spans = append(spans, sp)
+	}
+	fut.results = make([]BatchResult, len(spans))
+	for i, sp := range spans {
+		br := BatchResult{Status: sp.status}
+		if sp.value {
+			br.Value = arena[sp.off : sp.off+sp.n : sp.off+sp.n]
+		}
+		fut.results[i] = br
+	}
+	return nil
+}
+
+// Set stores value under key synchronously (a one-op batch).
+func (c *BinaryClient) Set(key string, value []byte) error {
+	c.b.Set(key, value)
+	res, err := c.roundTrip()
+	if err != nil {
+		return err
+	}
+	if res.Status == wire.StatusTooLarge {
+		return fmt.Errorf("kv: set %s: value too large", key)
+	}
+	if res.Status != wire.StatusStored {
+		return fmt.Errorf("kv: set %s: status 0x%02x", key, res.Status)
+	}
+	return nil
+}
+
+// Get fetches key synchronously (a one-op batch).
+func (c *BinaryClient) Get(key string) ([]byte, bool, error) {
+	c.b.Get(key)
+	res, err := c.roundTrip()
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Status == wire.StatusValue {
+		return res.Value, true, nil
+	}
+	return nil, false, nil
+}
+
+// Delete removes key synchronously (a one-op batch) and reports whether it
+// existed.
+func (c *BinaryClient) Delete(key string) (bool, error) {
+	c.b.Delete(key)
+	res, err := c.roundTrip()
+	if err != nil {
+		return false, err
+	}
+	return res.Status == wire.StatusDeleted, nil
+}
+
+func (c *BinaryClient) roundTrip() (BatchResult, error) {
+	fut, err := c.Send()
+	if err != nil {
+		return BatchResult{}, err
+	}
+	res, err := fut.Wait()
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return res[0], nil
+}
+
+// Close tears the client down: no further Sends are accepted, the reader is
+// unblocked and drains any in-flight Futures with an error, and the socket
+// closes. Futures already completed keep their results.
+func (c *BinaryClient) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	close(c.inflight)
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}

@@ -8,18 +8,27 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/respct/respct/internal/core"
 	"github.com/respct/respct/internal/telemetry"
+	"github.com/respct/respct/internal/wire"
 )
 
-// Server exposes a Store over a memcached-style text protocol:
+// Server exposes a Store over two protocols on one port, negotiated by a
+// connection's first byte (wire.MagicRequest opens the binary protocol,
+// anything else the memcached-style text protocol):
 //
 //	set <key> <bytes>\r\n<data>\r\n  -> STORED\r\n
 //	get <key>\r\n                    -> VALUE <key> <bytes>\r\n<data>\r\nEND\r\n  |  END\r\n
 //	delete <key>\r\n                 -> DELETED\r\n | NOT_FOUND\r\n
 //	quit\r\n
+//
+// The binary protocol (internal/wire, docs/WIRE-PROTOCOL.md) carries batches
+// of operations per frame; a worker claims a whole frame and executes it
+// under one checkpoint-prevent window, so the per-operation dispatch cost is
+// amortized across the batch.
 //
 // Connections are accepted without limit (the YCSB evaluation uses 32
 // clients), but requests are executed by a fixed pool of worker threads
@@ -29,27 +38,80 @@ import (
 type Server struct {
 	store    Store
 	workers  int
+	proto    Protocol
 	ln       net.Listener
 	dispatch chan request
 	wg       sync.WaitGroup
 	connWG   sync.WaitGroup
 	closed   chan struct{}
+	connSeq  atomic.Uint32
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	met *serverMetrics // nil unless NewServerWithMetrics
+	met *serverMetrics // nil unless Options.Metrics was set
+}
+
+// Protocol selects which wire formats a Server accepts.
+type Protocol int
+
+const (
+	// ProtoAuto accepts both protocols, negotiated per connection by its
+	// first byte. The default.
+	ProtoAuto Protocol = iota
+	// ProtoText accepts only the text protocol; binary connections are
+	// refused with a text error line.
+	ProtoText
+	// ProtoBinary accepts only the binary protocol; text connections are
+	// refused with a text error line.
+	ProtoBinary
+)
+
+// ParseProtocol maps the kvserver flag spelling ("auto", "text", "binary")
+// to a Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "auto":
+		return ProtoAuto, nil
+	case "text":
+		return ProtoText, nil
+	case "binary":
+		return ProtoBinary, nil
+	}
+	return ProtoAuto, fmt.Errorf("kv: unknown protocol %q (want auto, text or binary)", s)
+}
+
+// Options configures NewServerOpts beyond the store itself.
+type Options struct {
+	// Workers is the executing thread-pool size; each worker owns one
+	// store thread index.
+	Workers int
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Protocol restricts which protocols connections may speak.
+	Protocol Protocol
+	// Metrics enables server telemetry in this registry when non-nil.
+	Metrics *telemetry.Registry
 }
 
 // serverMetrics is the server's optional telemetry: per-op latency
-// histograms (observed by the executing worker, so recording is sharded by
-// worker index), an active-connection gauge and a protocol-error counter.
+// histograms for the text path (observed by the executing worker, so
+// recording is sharded by worker index), per-frame figures for the binary
+// path, byte counters for both directions of the binary protocol, an
+// active-connection gauge and a protocol-error counter.
 type serverMetrics struct {
 	setNs     *telemetry.Histogram
 	getNs     *telemetry.Histogram
 	delNs     *telemetry.Histogram
 	conns     *telemetry.Gauge
 	protoErrs *telemetry.Counter
+
+	frames   *telemetry.Counter
+	wireOps  *telemetry.Counter
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
+	frameOps *telemetry.Histogram
+	frameNs  *telemetry.Histogram
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -60,6 +122,13 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		delNs:     reg.Histogram("respct_kv_op_ns", help, telemetry.Labels{"op": "delete"}),
 		conns:     reg.Gauge("respct_kv_conns", "open client connections", nil),
 		protoErrs: reg.Counter("respct_kv_protocol_errors_total", "malformed client commands", nil),
+
+		frames:   reg.Counter("respct_wire_frames_total", "binary request frames executed", nil),
+		wireOps:  reg.Counter("respct_wire_ops_total", "operations carried by binary frames", nil),
+		bytesIn:  reg.Counter("respct_wire_bytes_total", "binary protocol bytes", telemetry.Labels{"dir": "in"}),
+		bytesOut: reg.Counter("respct_wire_bytes_total", "binary protocol bytes", telemetry.Labels{"dir": "out"}),
+		frameOps: reg.Histogram("respct_wire_frame_ops", "operations per binary frame", nil),
+		frameNs:  reg.Histogram("respct_wire_frame_ns", "binary frame service time, claim to response built", nil),
 	}
 }
 
@@ -67,16 +136,27 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 // body is consumed so the connection stays in protocol sync.
 const maxValueBytes = 1 << 20
 
+// request is one unit of worker work: either a single text-protocol op
+// (batch nil) or a whole binary frame.
 type request struct {
 	op    byte // 's', 'g', 'd'
 	key   string
 	value []byte
 	reply chan response
+	batch *batchReq
 }
 
 type response struct {
 	value []byte
 	found bool
+}
+
+// batchReq carries one decoded binary request frame from its connection
+// goroutine to a worker and the execution outcome back.
+type batchReq struct {
+	req  *wire.ReqFrame
+	resp *wire.RespBuilder
+	errc chan error
 }
 
 // allowIdle opens an allow window for stores that gate checkpoints.
@@ -88,31 +168,36 @@ type idleAware interface {
 // listening on addr (e.g. "127.0.0.1:0"). Use Addr to discover the bound
 // address.
 func NewServer(store Store, workers int, addr string) (*Server, error) {
-	return newServer(store, workers, addr, nil)
+	return NewServerOpts(store, Options{Workers: workers, Addr: addr})
 }
 
-// NewServerWithMetrics is NewServer plus telemetry in reg: per-op latency
-// histograms (respct_kv_op_ns{op="set"|"get"|"delete"}), an open-connection
-// gauge and a protocol-error counter.
+// NewServerWithMetrics is NewServer plus telemetry in reg (see
+// serverMetrics for the series).
 func NewServerWithMetrics(store Store, workers int, addr string, reg *telemetry.Registry) (*Server, error) {
-	return newServer(store, workers, addr, newServerMetrics(reg))
+	return NewServerOpts(store, Options{Workers: workers, Addr: addr, Metrics: reg})
 }
 
-func newServer(store Store, workers int, addr string, met *serverMetrics) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+// NewServerOpts starts a server for store with the full option set.
+func NewServerOpts(store Store, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", o.Addr)
 	if err != nil {
 		return nil, err
 	}
+	var met *serverMetrics
+	if o.Metrics != nil {
+		met = newServerMetrics(o.Metrics)
+	}
 	s := &Server{
 		store:    store,
-		workers:  workers,
+		workers:  o.Workers,
+		proto:    o.Protocol,
 		ln:       ln,
 		dispatch: make(chan request, 256),
 		closed:   make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		met:      met,
 	}
-	for w := 0; w < workers; w++ {
+	for w := 0; w < o.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker(w)
 	}
@@ -159,7 +244,9 @@ func (s *Server) worker(w int) {
 
 // checkpointWorker is the idle-aware variant of worker: the runtime thread
 // opens an allow window across the blocking receive and closes it for the
-// duration of each operation. It is kept free of nil-guards so the
+// duration of each work item — one text op or one whole binary frame, which
+// is what makes a frame's operations execute under a single
+// checkpoint-prevent window. It is kept free of nil-guards so the
 // Prevent/Allow pairing holds on every path: exiting on channel close
 // leaves the window open (the thread is done and must not gate future
 // checkpoints), and every other path loops back through CheckpointAllow.
@@ -175,9 +262,13 @@ func (s *Server) checkpointWorker(w int, th *core.Thread) {
 	}
 }
 
-// handleReq executes one request and replies, recording per-op telemetry
-// when enabled.
+// handleReq executes one work item and replies, recording telemetry when
+// enabled.
 func (s *Server) handleReq(w int, req request) {
+	if req.batch != nil {
+		s.handleBatch(w, req.batch)
+		return
+	}
 	var start time.Time
 	if s.met != nil {
 		start = time.Now()
@@ -207,6 +298,63 @@ func (s *Server) handleReq(w int, req request) {
 	req.reply <- resp
 }
 
+// handleBatch executes one binary frame against the store. The caller (a
+// worker) already holds the checkpoint-prevent window for the whole frame.
+func (s *Server) handleBatch(w int, b *batchReq) {
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
+	b.resp.Reset()
+	err := ApplyFrame(s.store, w, b.req, b.resp)
+	if s.met != nil {
+		s.met.frameNs.ObserveDuration(w, time.Since(start))
+		s.met.frameOps.Observe(w, uint64(b.req.Ops()))
+		s.met.wireOps.Add(w, uint64(b.req.Ops()))
+		s.met.frames.Inc(w)
+	}
+	b.errc <- err
+}
+
+// ApplyFrame executes every operation of a decoded request frame against
+// store under thread index th, appending one result per operation to resp
+// in order. It is the server's binary execution path, exported so the
+// crash-consistency workloads can drive the exact code the server runs. A
+// non-nil error is a malformed operation; the frame's earlier operations
+// have already executed (mirroring the text protocol, where a SET applies
+// before its reply), and the caller must close the connection.
+func ApplyFrame(store Store, th int, f *wire.ReqFrame, resp *wire.RespBuilder) error {
+	for i := 0; i < f.Ops(); i++ {
+		op, err := f.Next()
+		if err != nil {
+			return err
+		}
+		switch op.Code {
+		case wire.OpGet:
+			if v, ok := store.Get(th, bstr(op.Key)); ok {
+				resp.Value(v)
+			} else {
+				resp.Status(wire.StatusNotFound)
+			}
+		case wire.OpSet:
+			if len(op.Value) > maxValueBytes {
+				resp.Status(wire.StatusTooLarge)
+			} else {
+				store.Set(th, bstr(op.Key), op.Value)
+				resp.Status(wire.StatusStored)
+			}
+		case wire.OpDelete:
+			if store.Delete(th, bstr(op.Key)) {
+				resp.Status(wire.StatusDeleted)
+			} else {
+				resp.Status(wire.StatusNotFound)
+			}
+		}
+		store.PerOp(th)
+	}
+	return nil
+}
+
 // protoErr counts one malformed client command when telemetry is on.
 func (s *Server) protoErr() {
 	if s.met != nil {
@@ -214,8 +362,11 @@ func (s *Server) protoErr() {
 	}
 }
 
+// serveConn negotiates the protocol from the connection's first byte and
+// hands off to the per-protocol loop.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.connWG.Done()
+	cid := int(s.connSeq.Add(1))
 	if s.met != nil {
 		s.met.conns.Add(1)
 	}
@@ -230,35 +381,155 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	wtr := bufio.NewWriter(conn)
-	reply := make(chan response, 1)
-	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wire.MagicRequest {
+		if s.proto == ProtoText {
+			s.protoErr()
+			io.WriteString(conn, "ERROR binary protocol disabled\r\n")
 			return
 		}
-		line = strings.TrimRight(line, "\r\n")
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
+		s.serveBinary(r, wtr, cid)
+		return
+	}
+	if s.proto == ProtoBinary {
+		s.protoErr()
+		io.WriteString(conn, "ERROR text protocol disabled\r\n")
+		return
+	}
+	s.serveText(r, wtr)
+}
+
+// serveBinary is the binary-protocol connection loop: read one frame,
+// dispatch it whole to a worker, write the worker-built response frame.
+// Responses are flushed only when no further request bytes are buffered, so
+// a pipelining client pays one write-back per burst, not per frame. Any
+// frame error closes the connection — the stream cannot be re-synchronized
+// after a bad frame.
+func (s *Server) serveBinary(r *bufio.Reader, wtr *bufio.Writer, cid int) {
+	var req wire.ReqFrame
+	var resp wire.RespBuilder
+	b := &batchReq{req: &req, resp: &resp, errc: make(chan error, 1)}
+	for {
+		if err := req.Decode(r); err != nil {
+			if wire.IsProtocolError(err) {
+				s.protoErr()
+			}
+			return
+		}
+		if s.met != nil {
+			s.met.bytesIn.Add(cid, uint64(req.Len()))
+		}
+		s.dispatch <- request{batch: b}
+		if err := <-b.errc; err != nil {
+			s.protoErr()
+			return
+		}
+		out := resp.Bytes()
+		if _, err := wtr.Write(out); err != nil {
+			return
+		}
+		if s.met != nil {
+			s.met.bytesOut.Add(cid, uint64(len(out)))
+		}
+		if r.Buffered() == 0 {
+			if err := wtr.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// splitFields splits line into at most 3 space-separated fields without
+// allocating, returning the field count (or -1 when a 4th field exists).
+func splitFields(line []byte, f *[3][]byte) int {
+	n := 0
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' {
+			j++
+		}
+		if n == 3 {
+			return -1
+		}
+		f[n] = line[i:j]
+		n++
+		i = j
+	}
+	return n
+}
+
+// parseLen parses a non-negative decimal byte count, rejecting anything
+// else (including lengths that would overflow the value bound by far).
+func parseLen(b []byte) (int, bool) {
+	if len(b) == 0 || len(b) > 9 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// serveText is the text-protocol connection loop. Lines are parsed with
+// ReadSlice over the reader's own buffer and SET bodies land in a reused
+// per-connection buffer, so the loop is allocation-free per op in steady
+// state; responses are written without fmt and flushed only when no further
+// request bytes are buffered, so a pipelining client pays one write-back
+// per burst.
+func (s *Server) serveText(r *bufio.Reader, wtr *bufio.Writer) {
+	reply := make(chan response, 1)
+	var fields [3][]byte
+	var keyBuf []byte // SET keys survive the body read in here
+	var valBuf []byte // reused SET body buffer
+	var num [20]byte  // integer rendering scratch
+	for {
+		line, err := r.ReadSlice('\n')
+		if err != nil {
+			if err == bufio.ErrBufferFull {
+				// The "line" exceeds the read buffer: unframeable, close.
+				s.protoErr()
+			}
+			return
+		}
+		for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+			line = line[:len(line)-1]
+		}
+		nf := splitFields(line, &fields)
+		if nf == 0 {
 			continue
 		}
-		switch fields[0] {
-		case "set":
+		switch {
+		case string(fields[0]) == "set":
 			// A malformed set leaves an unknown number of body bytes on the
 			// wire; replying and reading on would desync the protocol —
 			// every subsequent "command" would be value bytes. When the
 			// length is unparseable the connection must close; when it is
 			// valid but oversized the body is consumed and the connection
 			// stays usable.
-			if len(fields) != 3 {
+			if nf != 3 {
 				s.protoErr()
-				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
+				wtr.WriteString("CLIENT_ERROR bad command\r\n")
 				wtr.Flush()
 				return
 			}
-			n, err := strconv.Atoi(fields[2])
-			if err != nil || n < 0 {
+			n, ok := parseLen(fields[2])
+			if !ok {
 				s.protoErr()
-				fmt.Fprintf(wtr, "CLIENT_ERROR bad length\r\n")
+				wtr.WriteString("CLIENT_ERROR bad length\r\n")
 				wtr.Flush()
 				return
 			}
@@ -266,55 +537,67 @@ func (s *Server) serveConn(conn net.Conn) {
 				if _, err := io.CopyN(io.Discard, r, int64(n)+2); err != nil {
 					return
 				}
-				fmt.Fprintf(wtr, "SERVER_ERROR object too large\r\n")
+				wtr.WriteString("SERVER_ERROR object too large\r\n")
 				wtr.Flush()
 				continue
 			}
-			data := make([]byte, n+2)
+			// The body read below refills the reader's buffer, which would
+			// clobber the key sub-slice: copy it out first.
+			keyBuf = append(keyBuf[:0], fields[1]...)
+			if cap(valBuf) < n+2 {
+				valBuf = make([]byte, n+2)
+			}
+			data := valBuf[:n+2]
 			if _, err := io.ReadFull(r, data); err != nil {
 				return
 			}
-			s.dispatch <- request{op: 's', key: fields[1], value: data[:n], reply: reply}
+			s.dispatch <- request{op: 's', key: bstr(keyBuf), value: data[:n], reply: reply}
 			<-reply
-			fmt.Fprintf(wtr, "STORED\r\n")
-		case "get":
-			if len(fields) != 2 {
+			wtr.WriteString("STORED\r\n")
+		case string(fields[0]) == "get":
+			if nf != 2 {
 				s.protoErr()
-				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
+				wtr.WriteString("CLIENT_ERROR bad command\r\n")
 				wtr.Flush()
 				continue
 			}
-			s.dispatch <- request{op: 'g', key: fields[1], reply: reply}
+			s.dispatch <- request{op: 'g', key: bstr(fields[1]), reply: reply}
 			resp := <-reply
 			if resp.found {
-				fmt.Fprintf(wtr, "VALUE %s %d\r\n", fields[1], len(resp.value))
+				wtr.WriteString("VALUE ")
+				wtr.Write(fields[1])
+				wtr.WriteByte(' ')
+				wtr.Write(strconv.AppendInt(num[:0], int64(len(resp.value)), 10))
+				wtr.WriteString("\r\n")
 				wtr.Write(resp.value)
 				wtr.WriteString("\r\n")
 			}
 			wtr.WriteString("END\r\n")
-		case "delete":
-			if len(fields) != 2 {
+		case string(fields[0]) == "delete":
+			if nf != 2 {
 				s.protoErr()
-				fmt.Fprintf(wtr, "CLIENT_ERROR bad command\r\n")
+				wtr.WriteString("CLIENT_ERROR bad command\r\n")
 				wtr.Flush()
 				continue
 			}
-			s.dispatch <- request{op: 'd', key: fields[1], reply: reply}
+			s.dispatch <- request{op: 'd', key: bstr(fields[1]), reply: reply}
 			resp := <-reply
 			if resp.found {
-				fmt.Fprintf(wtr, "DELETED\r\n")
+				wtr.WriteString("DELETED\r\n")
 			} else {
-				fmt.Fprintf(wtr, "NOT_FOUND\r\n")
+				wtr.WriteString("NOT_FOUND\r\n")
 			}
-		case "quit":
+		case string(fields[0]) == "quit":
 			wtr.Flush()
 			return
 		default:
 			s.protoErr()
-			fmt.Fprintf(wtr, "ERROR\r\n")
+			wtr.WriteString("ERROR\r\n")
 		}
-		if err := wtr.Flush(); err != nil {
-			return
+		if r.Buffered() == 0 {
+			if err := wtr.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -346,14 +629,16 @@ func (s *Server) Close() {
 	}
 }
 
-// Client is a minimal client for the server's protocol.
+// Client is a minimal client for the server's text protocol. The Send/Recv
+// halves of each operation are exposed so callers can pipeline: write any
+// number of commands, Flush, then Recv the replies in the same order.
 type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
 }
 
-// Dial connects a client to addr.
+// Dial connects a text-protocol client to addr.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -362,14 +647,16 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
-// Set stores value under key.
-func (c *Client) Set(key string, value []byte) error {
+// SendSet writes a set command without flushing.
+func (c *Client) SendSet(key string, value []byte) error {
 	fmt.Fprintf(c.w, "set %s %d\r\n", key, len(value))
 	c.w.Write(value)
-	c.w.WriteString("\r\n")
-	if err := c.w.Flush(); err != nil {
-		return err
-	}
+	_, err := c.w.WriteString("\r\n")
+	return err
+}
+
+// RecvSet reads one set reply.
+func (c *Client) RecvSet() error {
 	line, err := c.r.ReadString('\n')
 	if err != nil {
 		return err
@@ -380,12 +667,25 @@ func (c *Client) Set(key string, value []byte) error {
 	return nil
 }
 
-// Get fetches key.
-func (c *Client) Get(key string) ([]byte, bool, error) {
-	fmt.Fprintf(c.w, "get %s\r\n", key)
-	if err := c.w.Flush(); err != nil {
-		return nil, false, err
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	if err := c.SendSet(key, value); err != nil {
+		return err
 	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	return c.RecvSet()
+}
+
+// SendGet writes a get command without flushing.
+func (c *Client) SendGet(key string) error {
+	fmt.Fprintf(c.w, "get %s\r\n", key)
+	return nil
+}
+
+// RecvGet reads one get reply.
+func (c *Client) RecvGet() ([]byte, bool, error) {
 	line, err := c.r.ReadString('\n')
 	if err != nil {
 		return nil, false, err
@@ -411,18 +711,45 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 	return data[:n], true, nil
 }
 
-// Delete removes key and reports whether it existed.
-func (c *Client) Delete(key string) (bool, error) {
-	fmt.Fprintf(c.w, "delete %s\r\n", key)
-	if err := c.w.Flush(); err != nil {
-		return false, err
+// Get fetches key.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	if err := c.SendGet(key); err != nil {
+		return nil, false, err
 	}
+	if err := c.w.Flush(); err != nil {
+		return nil, false, err
+	}
+	return c.RecvGet()
+}
+
+// SendDelete writes a delete command without flushing.
+func (c *Client) SendDelete(key string) error {
+	fmt.Fprintf(c.w, "delete %s\r\n", key)
+	return nil
+}
+
+// RecvDelete reads one delete reply and reports whether the key existed.
+func (c *Client) RecvDelete() (bool, error) {
 	line, err := c.r.ReadString('\n')
 	if err != nil {
 		return false, err
 	}
 	return strings.HasPrefix(line, "DELETED"), nil
 }
+
+// Delete removes key and reports whether it existed.
+func (c *Client) Delete(key string) (bool, error) {
+	if err := c.SendDelete(key); err != nil {
+		return false, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	return c.RecvDelete()
+}
+
+// Flush pushes any pipelined commands to the server.
+func (c *Client) Flush() error { return c.w.Flush() }
 
 // Close terminates the connection.
 func (c *Client) Close() error {

@@ -1,0 +1,21 @@
+package kv
+
+import "unsafe"
+
+// bstr views b as a string without copying. It is the protocol layers'
+// bridge into the Store interface, whose key parameter is a string: request
+// keys arrive as sub-slices of per-connection read buffers, and copying each
+// one would put an allocation back on every op of the hot path.
+//
+// The view is sound because of two lifetime facts the callers maintain:
+// the backing buffer is not rewritten until the operation has completed
+// (the connection goroutine blocks on the worker's reply before its next
+// read), and no Store implementation retains the key beyond the call — the
+// Store interface documents that contract, and both RespctStore and
+// TransientStore copy key bytes into their own records.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}

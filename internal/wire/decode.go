@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// Op is one decoded request operation. Key and Value are sub-slices of the
+// decoding frame's payload buffer: they are valid until the frame's next
+// Decode and must be copied to be retained.
+type Op struct {
+	// Code is the operation's opcode (OpGet, OpSet or OpDelete).
+	Code byte
+	// Key aliases the frame's payload buffer.
+	Key []byte
+	// Value aliases the frame's payload buffer; empty unless Code is OpSet.
+	Value []byte
+}
+
+// ReqFrame decodes request frames from a stream, reusing one payload buffer
+// across frames. The zero value is ready; a frame is loaded with Decode
+// and iterated with Next.
+type ReqFrame struct {
+	hdr  [HeaderLen]byte
+	buf  []byte // payload, reused
+	ops  int    // ops in the loaded frame
+	next int    // ops already handed out
+	pos  int    // payload cursor
+}
+
+// grow returns buf resized to n bytes, reallocating only when capacity is
+// short — the steady-state path is a reslice.
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// Decode reads and validates one full frame. A clean EOF before the first
+// header byte returns io.EOF; anything shorter than a whole frame returns
+// io.ErrUnexpectedEOF; a malformed header returns one of the Err values. On
+// any error the previous frame's contents are gone and the stream must be
+// considered desynchronized.
+func (f *ReqFrame) Decode(r io.Reader) error {
+	f.ops, f.next, f.pos = 0, 0, 0
+	if _, err := io.ReadFull(r, f.hdr[:]); err != nil {
+		return err
+	}
+	payload, ops, err := checkHeader(f.hdr[:], MagicRequest)
+	if err != nil {
+		return err
+	}
+	f.buf = grow(f.buf, payload)
+	if _, err := io.ReadFull(r, f.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	f.ops = ops
+	return nil
+}
+
+// Ops returns the number of operations in the loaded frame.
+func (f *ReqFrame) Ops() int { return f.ops }
+
+// Len returns the loaded frame's full wire size, header included.
+func (f *ReqFrame) Len() int { return HeaderLen + len(f.buf) }
+
+// Next decodes the next operation. It validates the op header against the
+// payload bounds and the protocol limits; after an error the frame must be
+// discarded. Calling Next more than Ops() times panics — the caller drives
+// the loop with Ops().
+func (f *ReqFrame) Next() (Op, error) {
+	if f.next >= f.ops {
+		panic("wire: Next past the frame's op count")
+	}
+	f.next++
+	if f.pos+OpHeaderLen > len(f.buf) {
+		return Op{}, fmt.Errorf("%w: op %d header past payload end", ErrTruncated, f.next-1)
+	}
+	h := f.buf[f.pos:]
+	code := h[0]
+	kl := int(le16(h[2:]))
+	vl := int(le32(h[4:]))
+	if h[1] != 0 || kl > MaxKeyLen || vl > MaxValueLen {
+		return Op{}, fmt.Errorf("%w: op %d key %d value %d", ErrTooBig, f.next-1, kl, vl)
+	}
+	switch code {
+	case OpSet:
+	case OpGet, OpDelete:
+		if vl != 0 {
+			return Op{}, fmt.Errorf("%w: opcode 0x%02x carries a value", ErrOpcode, code)
+		}
+	default:
+		return Op{}, fmt.Errorf("%w: 0x%02x", ErrOpcode, code)
+	}
+	end := f.pos + OpHeaderLen + kl + vl
+	if end > len(f.buf) {
+		return Op{}, fmt.Errorf("%w: op %d body past payload end", ErrTruncated, f.next-1)
+	}
+	if f.next == f.ops && end != len(f.buf) {
+		return Op{}, fmt.Errorf("%w: %d trailing payload bytes", ErrTruncated, len(f.buf)-end)
+	}
+	key := f.buf[f.pos+OpHeaderLen : f.pos+OpHeaderLen+kl]
+	val := f.buf[f.pos+OpHeaderLen+kl : end : end]
+	f.pos = end
+	return Op{Code: code, Key: key, Value: val}, nil
+}
+
+// Result is one decoded response entry. Value aliases the frame's payload
+// buffer under the same lifetime rules as Op.
+type Result struct {
+	// Status is the result's status code (StatusStored, StatusValue, ...).
+	Status byte
+	// Value aliases the frame's payload buffer; empty unless Status is
+	// StatusValue.
+	Value []byte
+}
+
+// RespFrame decodes response frames, mirroring ReqFrame.
+type RespFrame struct {
+	hdr  [HeaderLen]byte
+	buf  []byte
+	ops  int
+	next int
+	pos  int
+}
+
+// Decode reads and validates one full response frame (see
+// ReqFrame.Decode for the error contract).
+func (f *RespFrame) Decode(r io.Reader) error {
+	f.ops, f.next, f.pos = 0, 0, 0
+	if _, err := io.ReadFull(r, f.hdr[:]); err != nil {
+		return err
+	}
+	payload, ops, err := checkHeader(f.hdr[:], MagicResponse)
+	if err != nil {
+		return err
+	}
+	f.buf = grow(f.buf, payload)
+	if _, err := io.ReadFull(r, f.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	f.ops = ops
+	return nil
+}
+
+// Ops returns the number of results in the loaded frame.
+func (f *RespFrame) Ops() int { return f.ops }
+
+// Len returns the loaded frame's full wire size, header included.
+func (f *RespFrame) Len() int { return HeaderLen + len(f.buf) }
+
+// Next decodes the next result (see ReqFrame.Next for the contract).
+func (f *RespFrame) Next() (Result, error) {
+	if f.next >= f.ops {
+		panic("wire: Next past the frame's result count")
+	}
+	f.next++
+	if f.pos+OpHeaderLen > len(f.buf) {
+		return Result{}, fmt.Errorf("%w: result %d header past payload end", ErrTruncated, f.next-1)
+	}
+	h := f.buf[f.pos:]
+	status := h[0]
+	vl := int(le32(h[4:]))
+	if h[1] != 0 || h[2] != 0 || h[3] != 0 || vl > MaxValueLen {
+		return Result{}, fmt.Errorf("%w: result %d value %d", ErrTooBig, f.next-1, vl)
+	}
+	switch status {
+	case StatusValue:
+	case StatusStored, StatusNotFound, StatusDeleted, StatusTooLarge:
+		if vl != 0 {
+			return Result{}, fmt.Errorf("%w: status 0x%02x carries a value", ErrStatus, status)
+		}
+	default:
+		return Result{}, fmt.Errorf("%w: 0x%02x", ErrStatus, status)
+	}
+	end := f.pos + OpHeaderLen + vl
+	if end > len(f.buf) {
+		return Result{}, fmt.Errorf("%w: result %d body past payload end", ErrTruncated, f.next-1)
+	}
+	if f.next == f.ops && end != len(f.buf) {
+		return Result{}, fmt.Errorf("%w: %d trailing payload bytes", ErrTruncated, len(f.buf)-end)
+	}
+	val := f.buf[f.pos+OpHeaderLen : end : end]
+	f.pos = end
+	return Result{Status: status, Value: val}, nil
+}

@@ -1,0 +1,103 @@
+package wire
+
+// ReqBuilder assembles one request frame into a buffer it owns and reuses.
+// The zero value is ready to use: call the op methods, then Bytes, then
+// Reset to start the next frame. No op method allocates once the buffer has
+// grown to the working frame size.
+type ReqBuilder struct {
+	buf []byte
+	ops int
+}
+
+// Reset discards the frame under construction, keeping the buffer.
+func (b *ReqBuilder) Reset() {
+	b.buf = b.buf[:0]
+	b.ops = 0
+}
+
+// Ops returns the number of operations added since the last Reset.
+func (b *ReqBuilder) Ops() int { return b.ops }
+
+// header lazily appends the 12-byte header placeholder on the first op.
+func (b *ReqBuilder) header() {
+	if len(b.buf) == 0 {
+		b.buf = append(b.buf, MagicRequest, Version, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	}
+}
+
+// op appends one operation. Keys are strings because that is what every
+// caller holds; append copies them without conversion allocations.
+func (b *ReqBuilder) op(code byte, key string, value []byte) {
+	b.header()
+	b.buf = append(b.buf, code, 0, byte(len(key)), byte(len(key)>>8))
+	b.buf = put32(b.buf, uint32(len(value)))
+	b.buf = append(b.buf, key...)
+	b.buf = append(b.buf, value...)
+	b.ops++
+}
+
+// Get appends an OpGet for key.
+func (b *ReqBuilder) Get(key string) { b.op(OpGet, key, nil) }
+
+// Set appends an OpSet storing value under key.
+func (b *ReqBuilder) Set(key string, value []byte) { b.op(OpSet, key, value) }
+
+// Delete appends an OpDelete for key.
+func (b *ReqBuilder) Delete(key string) { b.op(OpDelete, key, nil) }
+
+// Bytes patches the header and returns the complete frame. The slice aliases
+// the builder's buffer: it is valid until the next op method or Reset.
+// Calling Bytes on an empty builder returns a valid zero-op frame.
+func (b *ReqBuilder) Bytes() []byte {
+	b.header()
+	patch32(b.buf, 4, uint32(len(b.buf)-HeaderLen))
+	patch32(b.buf, 8, uint32(b.ops))
+	return b.buf
+}
+
+// RespBuilder assembles one response frame, mirroring ReqBuilder.
+type RespBuilder struct {
+	buf []byte
+	ops int
+}
+
+// Reset discards the frame under construction, keeping the buffer.
+func (b *RespBuilder) Reset() {
+	b.buf = b.buf[:0]
+	b.ops = 0
+}
+
+// Ops returns the number of results added since the last Reset.
+func (b *RespBuilder) Ops() int { return b.ops }
+
+func (b *RespBuilder) header() {
+	if len(b.buf) == 0 {
+		b.buf = append(b.buf, MagicResponse, Version, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	}
+}
+
+// Status appends a value-less result (StatusStored, StatusNotFound,
+// StatusDeleted, StatusTooLarge).
+func (b *RespBuilder) Status(code byte) {
+	b.header()
+	b.buf = append(b.buf, code, 0, 0, 0, 0, 0, 0, 0)
+	b.ops++
+}
+
+// Value appends a StatusValue result carrying value.
+func (b *RespBuilder) Value(value []byte) {
+	b.header()
+	b.buf = append(b.buf, StatusValue, 0, 0, 0)
+	b.buf = put32(b.buf, uint32(len(value)))
+	b.buf = append(b.buf, value...)
+	b.ops++
+}
+
+// Bytes patches the header and returns the complete frame (see
+// ReqBuilder.Bytes for aliasing rules).
+func (b *RespBuilder) Bytes() []byte {
+	b.header()
+	patch32(b.buf, 4, uint32(len(b.buf)-HeaderLen))
+	patch32(b.buf, 8, uint32(b.ops))
+	return b.buf
+}

@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// validReqFrame builds a well-formed 3-op request frame for the corruption
+// cases to mutate.
+func validReqFrame() []byte {
+	var b ReqBuilder
+	b.Set("key-one", []byte("some value"))
+	b.Get("key-two")
+	b.Delete("key-three")
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// decodeReq runs a full decode of one frame and reports the first error.
+func decodeReq(frame []byte) error {
+	var f ReqFrame
+	if err := f.Decode(bytes.NewReader(frame)); err != nil {
+		return err
+	}
+	for i := 0; i < f.Ops(); i++ {
+		if _, err := f.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestCorruptRequestFrames is the decoder corruption suite: every mutation
+// must produce a clean error — never a panic, never a silent success that
+// would desynchronize the stream.
+func TestCorruptRequestFrames(t *testing.T) {
+	base := validReqFrame()
+	cases := []struct {
+		name    string
+		mutate  func(f []byte) []byte
+		wantErr error
+	}{
+		{"bad magic", func(f []byte) []byte { f[0] = 's'; return f }, ErrMagic},
+		{"response magic", func(f []byte) []byte { f[0] = MagicResponse; return f }, ErrMagic},
+		{"future version", func(f []byte) []byte { f[1] = 9; return f }, ErrVersion},
+		{"unknown flags", func(f []byte) []byte { f[2] = 0x01; return f }, ErrFlags},
+		{"oversized payload length", func(f []byte) []byte {
+			patch32(f, 4, uint32(MaxPayload+1))
+			return f
+		}, ErrTooBig},
+		{"oversized op count", func(f []byte) []byte {
+			patch32(f, 8, uint32(MaxOps+1))
+			return f
+		}, ErrTooBig},
+		{"count beyond payload", func(f []byte) []byte {
+			patch32(f, 8, 4000) // 4000 op headers cannot fit this payload
+			return f
+		}, ErrTruncated},
+		{"payload without ops", func(f []byte) []byte {
+			patch32(f, 8, 0)
+			return f
+		}, ErrTruncated},
+		{"truncated header", func(f []byte) []byte { return f[:HeaderLen-3] }, io.ErrUnexpectedEOF},
+		{"truncated payload", func(f []byte) []byte { return f[:len(f)-5] }, io.ErrUnexpectedEOF},
+		{"mid-frame connection death", func(f []byte) []byte { return f[:HeaderLen+2] }, io.ErrUnexpectedEOF},
+		{"empty stream", func(f []byte) []byte { return nil }, io.EOF},
+		{"unknown opcode", func(f []byte) []byte { f[HeaderLen] = 0x7F; return f }, ErrOpcode},
+		{"value on a get", func(f []byte) []byte {
+			// Op 1 is the GET ("key-two"); give it a value length. Op 0 is
+			// 8+7+10 bytes long.
+			patch32(f, HeaderLen+25+4, 4)
+			return f
+		}, ErrOpcode},
+		{"reserved op byte", func(f []byte) []byte { f[HeaderLen+1] = 1; return f }, ErrTooBig},
+		{"key length past payload", func(f []byte) []byte {
+			f[HeaderLen+2] = 0xFF // op 0 key length 255 runs past the payload
+			return f
+		}, ErrTruncated},
+		{"oversized key length", func(f []byte) []byte {
+			f[HeaderLen+2] = 0xFF
+			f[HeaderLen+3] = 0xFF // 65535 > MaxKeyLen
+			return f
+		}, ErrTooBig},
+		{"oversized value length", func(f []byte) []byte {
+			patch32(f, HeaderLen+4, MaxValueLen+1)
+			return f
+		}, ErrTooBig},
+		{"trailing payload bytes", func(f []byte) []byte {
+			// Shrink the last op's key length so decoded ops end before the
+			// payload does.
+			f[len(f)-9-OpHeaderLen+2] = 4
+			return f
+		}, ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := tc.mutate(append([]byte(nil), base...))
+			err := decodeReq(frame)
+			if err == nil {
+				t.Fatal("corrupt frame decoded without error")
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCorruptResponseFrames covers the response-side statuses and bounds.
+func TestCorruptResponseFrames(t *testing.T) {
+	var b RespBuilder
+	b.Status(StatusStored)
+	b.Value([]byte("payload"))
+	base := append([]byte(nil), b.Bytes()...)
+
+	decode := func(frame []byte) error {
+		var f RespFrame
+		if err := f.Decode(bytes.NewReader(frame)); err != nil {
+			return err
+		}
+		for i := 0; i < f.Ops(); i++ {
+			if _, err := f.Next(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cases := []struct {
+		name    string
+		mutate  func(f []byte) []byte
+		wantErr error
+	}{
+		{"request magic", func(f []byte) []byte { f[0] = MagicRequest; return f }, ErrMagic},
+		{"unknown status", func(f []byte) []byte { f[HeaderLen] = 0x7F; return f }, ErrStatus},
+		{"value on stored", func(f []byte) []byte {
+			patch32(f, HeaderLen+4, 3)
+			return f
+		}, ErrStatus},
+		{"value past payload", func(f []byte) []byte {
+			patch32(f, HeaderLen+OpHeaderLen+4, 600)
+			return f
+		}, ErrTruncated},
+		{"truncated value", func(f []byte) []byte { return f[:len(f)-3] }, io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := tc.mutate(append([]byte(nil), base...))
+			err := decode(frame)
+			if err == nil {
+				t.Fatal("corrupt frame decoded without error")
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// FuzzDecodeRequest feeds arbitrary bytes to the request decoder: it must
+// never panic, and whatever it accepts must re-encode to the same ops.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(validReqFrame())
+	var b ReqBuilder
+	b.Get("k")
+	f.Add(append([]byte(nil), b.Bytes()...))
+	b.Reset()
+	f.Add(append([]byte(nil), b.Bytes()...)) // zero-op frame
+	f.Add([]byte{MagicRequest, Version})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr ReqFrame
+		if err := fr.Decode(bytes.NewReader(data)); err != nil {
+			return
+		}
+		var rb ReqBuilder
+		for i := 0; i < fr.Ops(); i++ {
+			op, err := fr.Next()
+			if err != nil {
+				return
+			}
+			switch op.Code {
+			case OpGet:
+				rb.Get(string(op.Key))
+			case OpSet:
+				rb.Set(string(op.Key), op.Value)
+			case OpDelete:
+				rb.Delete(string(op.Key))
+			}
+		}
+		// An accepted frame must be canonical: re-encoding reproduces the
+		// exact bytes the decoder consumed.
+		frameLen := HeaderLen + int(le32(data[4:]))
+		if !bytes.Equal(rb.Bytes(), data[:frameLen]) {
+			t.Fatalf("accepted frame is not canonical:\n in  %x\n out %x", data[:frameLen], rb.Bytes())
+		}
+	})
+}
+
+// FuzzDecodeResponse is FuzzDecodeRequest for the response direction.
+func FuzzDecodeResponse(f *testing.F) {
+	var b RespBuilder
+	b.Status(StatusStored)
+	b.Value([]byte("v"))
+	f.Add(append([]byte(nil), b.Bytes()...))
+	f.Add([]byte{MagicResponse, Version, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr RespFrame
+		if err := fr.Decode(bytes.NewReader(data)); err != nil {
+			return
+		}
+		for i := 0; i < fr.Ops(); i++ {
+			if _, err := fr.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

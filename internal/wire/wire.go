@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frame geometry. Every frame is a 12-byte header followed by a payload of
+// exactly the header's length field; all multi-byte fields are little-endian.
+//
+//	off size field
+//	0   1    magic (MagicRequest or MagicResponse)
+//	1   1    version (Version)
+//	2   2    flags (must be zero; unknown bits are rejected)
+//	4   4    payload length in bytes
+//	8   4    operation count
+//
+// Request payload: Ops() operations, each an 8-byte header followed by the
+// key bytes and then the value bytes, unpadded:
+//
+//	0   1    opcode (OpGet, OpSet, OpDelete)
+//	1   1    reserved (zero)
+//	2   2    key length
+//	4   4    value length (zero unless OpSet)
+//
+// Response payload: one 8-byte result header per operation, in request
+// order, followed by the value bytes for StatusValue results:
+//
+//	0   1    status
+//	1   3    reserved (zero)
+//	4   4    value length (zero unless StatusValue)
+const (
+	// HeaderLen is the fixed frame-header size for both directions.
+	HeaderLen = 12
+	// OpHeaderLen is the fixed per-operation header size, both directions.
+	OpHeaderLen = 8
+
+	// MagicRequest is a request frame's first byte. It doubles as the
+	// protocol-negotiation byte: no text-protocol verb starts with it.
+	MagicRequest = 0xF2
+	// MagicResponse is a response frame's first byte.
+	MagicResponse = 0xF3
+	// Version is the only protocol version this codec speaks.
+	Version = 1
+)
+
+// Operation codes.
+const (
+	// OpGet looks a key up; its value length must be zero.
+	OpGet = 0x01
+	// OpSet stores a value under a key.
+	OpSet = 0x02
+	// OpDelete removes a key; its value length must be zero.
+	OpDelete = 0x03
+)
+
+// Result status codes.
+const (
+	// StatusStored acknowledges an OpSet.
+	StatusStored = 0x01
+	// StatusValue is an OpGet hit; the result carries the value.
+	StatusValue = 0x02
+	// StatusNotFound is an OpGet or OpDelete miss; no value follows.
+	StatusNotFound = 0x03
+	// StatusDeleted acknowledges an OpDelete that removed a live key.
+	StatusDeleted = 0x04
+	// StatusTooLarge refuses an OpSet whose value exceeds the server's
+	// limit. The frame's remaining operations still execute.
+	StatusTooLarge = 0x05
+)
+
+// Protocol limits. A decoder rejects any frame that exceeds them, so a
+// conforming peer can size its buffers from these constants alone.
+const (
+	// MaxKeyLen bounds one key (the field is 16 bits, but the protocol
+	// limit is deliberately tighter than the encoding allows).
+	MaxKeyLen = 1 << 10
+	// MaxValueLen bounds one value. It is deliberately above the server's
+	// application-level value limit (1 MiB): a too-large application value
+	// still decodes and draws a per-op StatusTooLarge, while only a frame
+	// beyond this bound kills the connection.
+	MaxValueLen = 4 << 20
+	// MaxOps bounds the operations in one frame.
+	MaxOps = 1 << 12
+	// MaxPayload bounds one frame's payload. It admits a frame holding a
+	// single maximum-size value with headroom for the op headers and keys
+	// of a full batch, while capping what one connection can make the
+	// peer buffer.
+	MaxPayload = 4<<20 + MaxOps*(OpHeaderLen+MaxKeyLen)
+)
+
+// Frame-shape errors. Decoders return exactly these (wrapped with detail via
+// %w) so transports can distinguish a malformed peer from connection death:
+// any of them means the stream can no longer be framed and the connection
+// must close.
+var (
+	// ErrMagic is a frame whose first byte is not the expected magic.
+	ErrMagic = errors.New("wire: bad magic")
+	// ErrVersion is an unsupported protocol version.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrFlags is a header with unknown flag bits set.
+	ErrFlags = errors.New("wire: unknown flags")
+	// ErrTooBig is a header length or count beyond the protocol limits.
+	ErrTooBig = errors.New("wire: frame exceeds protocol limits")
+	// ErrTruncated is a payload shorter than its header promises, or an
+	// operation that runs past the end of the payload.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrOpcode is an operation with an unknown opcode or a non-zero
+	// value length on an opcode that must not carry one.
+	ErrOpcode = errors.New("wire: bad opcode")
+	// ErrStatus is a result with an unknown status code.
+	ErrStatus = errors.New("wire: bad status")
+)
+
+// IsProtocolError reports whether err is a frame-shape violation by the peer
+// (as opposed to connection death), including a frame cut off mid-stream.
+// Transports use it to separate "malformed peer" accounting from ordinary
+// disconnects.
+func IsProtocolError(err error) bool {
+	for _, e := range []error{ErrMagic, ErrVersion, ErrFlags, ErrTooBig, ErrTruncated, ErrOpcode, ErrStatus} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// le32 decodes a little-endian uint32 at b[0:4]. Manual decoding keeps the
+// codec free of encoding/binary's interface conversions on the hot path.
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// le16 decodes a little-endian uint16 at b[0:2].
+func le16(b []byte) uint16 {
+	_ = b[1]
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+// put32 appends v little-endian.
+func put32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// patch32 overwrites b[off:off+4] with v little-endian.
+func patch32(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+// checkHeader validates a 12-byte header against the expected magic and
+// returns the payload length and op count.
+func checkHeader(hdr []byte, magic byte) (payload, ops int, err error) {
+	if hdr[0] != magic {
+		return 0, 0, fmt.Errorf("%w: 0x%02x (want 0x%02x)", ErrMagic, hdr[0], magic)
+	}
+	if hdr[1] != Version {
+		return 0, 0, fmt.Errorf("%w: %d", ErrVersion, hdr[1])
+	}
+	if f := le16(hdr[2:]); f != 0 {
+		return 0, 0, fmt.Errorf("%w: 0x%04x", ErrFlags, f)
+	}
+	payload = int(le32(hdr[4:]))
+	ops = int(le32(hdr[8:]))
+	if payload > MaxPayload || ops > MaxOps {
+		return 0, 0, fmt.Errorf("%w: payload %d, ops %d", ErrTooBig, payload, ops)
+	}
+	if payload < ops*OpHeaderLen {
+		return 0, 0, fmt.Errorf("%w: payload %d cannot hold %d op headers", ErrTruncated, payload, ops)
+	}
+	if ops == 0 && payload != 0 {
+		return 0, 0, fmt.Errorf("%w: %d payload bytes with no ops", ErrTruncated, payload)
+	}
+	return payload, ops, nil
+}

@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// roundTripReq encodes ops with a ReqBuilder and decodes them back.
+func TestRequestRoundTrip(t *testing.T) {
+	var b ReqBuilder
+	b.Get("alpha")
+	b.Set("beta", []byte("value-bytes"))
+	b.Delete("gamma")
+	b.Set("empty", nil)
+	frame := b.Bytes()
+
+	var f ReqFrame
+	if err := f.Decode(bytes.NewReader(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Ops() != 4 {
+		t.Fatalf("ops = %d, want 4", f.Ops())
+	}
+	want := []Op{
+		{Code: OpGet, Key: []byte("alpha")},
+		{Code: OpSet, Key: []byte("beta"), Value: []byte("value-bytes")},
+		{Code: OpDelete, Key: []byte("gamma")},
+		{Code: OpSet, Key: []byte("empty"), Value: []byte{}},
+	}
+	for i, w := range want {
+		op, err := f.Next()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if op.Code != w.Code || !bytes.Equal(op.Key, w.Key) || !bytes.Equal(op.Value, w.Value) {
+			t.Fatalf("op %d = %+v, want %+v", i, op, w)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var b RespBuilder
+	b.Status(StatusStored)
+	b.Value([]byte("hello"))
+	b.Status(StatusNotFound)
+	b.Status(StatusDeleted)
+	b.Status(StatusTooLarge)
+	frame := b.Bytes()
+
+	var f RespFrame
+	if err := f.Decode(bytes.NewReader(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Ops() != 5 {
+		t.Fatalf("ops = %d, want 5", f.Ops())
+	}
+	wantStatus := []byte{StatusStored, StatusValue, StatusNotFound, StatusDeleted, StatusTooLarge}
+	for i, ws := range wantStatus {
+		r, err := f.Next()
+		if err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if r.Status != ws {
+			t.Fatalf("result %d status = 0x%02x, want 0x%02x", i, r.Status, ws)
+		}
+		if ws == StatusValue && string(r.Value) != "hello" {
+			t.Fatalf("result %d value = %q", i, r.Value)
+		}
+	}
+}
+
+// TestBuilderReuse checks that Reset recycles the buffer: the second frame
+// must be byte-identical to a fresh builder's.
+func TestBuilderReuse(t *testing.T) {
+	var b, fresh ReqBuilder
+	b.Set("first", bytes.Repeat([]byte("x"), 512))
+	_ = b.Bytes()
+	b.Reset()
+	b.Get("second")
+	fresh.Get("second")
+	if !bytes.Equal(b.Bytes(), fresh.Bytes()) {
+		t.Fatal("reused builder produced a different frame than a fresh one")
+	}
+}
+
+// TestEmptyFrame checks the zero-op frame round-trips (it is legal, if
+// useless).
+func TestEmptyFrame(t *testing.T) {
+	var b ReqBuilder
+	var f ReqFrame
+	if err := f.Decode(bytes.NewReader(b.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if f.Ops() != 0 {
+		t.Fatalf("ops = %d", f.Ops())
+	}
+}
+
+// TestStreamOfFrames decodes several frames back to back from one reader,
+// then hits clean EOF.
+func TestStreamOfFrames(t *testing.T) {
+	var stream bytes.Buffer
+	var b ReqBuilder
+	for i := 0; i < 5; i++ {
+		b.Reset()
+		b.Set(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+		b.Get("probe")
+		stream.Write(b.Bytes())
+	}
+	var f ReqFrame
+	for i := 0; i < 5; i++ {
+		if err := f.Decode(&stream); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		for j := 0; j < f.Ops(); j++ {
+			if _, err := f.Next(); err != nil {
+				t.Fatalf("frame %d op %d: %v", i, j, err)
+			}
+		}
+	}
+	if err := f.Decode(&stream); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestZeroAllocEncodeDecode is the steady-state allocation gate of the
+// acceptance criteria: once buffers are warm, building a request frame,
+// decoding it, building the response and decoding that must not allocate.
+func TestZeroAllocEncodeDecode(t *testing.T) {
+	keys := []string{"user000000000001", "user000000000002", "user000000000003"}
+	value := bytes.Repeat([]byte("v"), 100)
+
+	var rb ReqBuilder
+	var req ReqFrame
+	var sb RespBuilder
+	var resp RespFrame
+	rd := bytes.NewReader(nil)
+
+	run := func() {
+		rb.Reset()
+		for _, k := range keys {
+			rb.Set(k, value)
+			rb.Get(k)
+		}
+		rd.Reset(rb.Bytes())
+		if err := req.Decode(rd); err != nil {
+			panic(err)
+		}
+		sb.Reset()
+		for i := 0; i < req.Ops(); i++ {
+			op, err := req.Next()
+			if err != nil {
+				panic(err)
+			}
+			if op.Code == OpSet {
+				sb.Status(StatusStored)
+			} else {
+				sb.Value(op.Value) // echo: exercises the value append path
+			}
+		}
+		rd.Reset(sb.Bytes())
+		if err := resp.Decode(rd); err != nil {
+			panic(err)
+		}
+		for i := 0; i < resp.Ops(); i++ {
+			if _, err := resp.Next(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	run() // warm the buffers
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("encode/decode cycle allocates %v times per run, want 0", n)
+	}
+}
+
+func BenchmarkEncodeDecode64(b *testing.B) {
+	value := bytes.Repeat([]byte("v"), 100)
+	var rb ReqBuilder
+	var req ReqFrame
+	rd := bytes.NewReader(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rb.Reset()
+		for j := 0; j < 64; j++ {
+			rb.Set("user000000000001", value)
+		}
+		rd.Reset(rb.Bytes())
+		if err := req.Decode(rd); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < req.Ops(); j++ {
+			if _, err := req.Next(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package ycsb
+
+import (
+	"math/bits"
+	"time"
+)
+
+// LatencyHist is an HDR-style log-linear latency histogram: every recorded
+// value lands in a bucket whose width is at most 1/64 of its value, so any
+// quantile read back is within ~1.6% of the true sample — close enough for
+// tail reporting, at a fixed memory cost that lets the harness record every
+// operation instead of sampling. The zero value is ready to use.
+//
+// Layout: values below 1<<subBits nanoseconds get exact unit buckets; each
+// further power of two is split into 64 sub-buckets.
+type LatencyHist struct {
+	counts [hdrBuckets]uint64
+	total  uint64
+	max    uint64
+}
+
+const (
+	subBits  = 7
+	subCount = 1 << subBits // 128 unit buckets, then 64 sub-buckets/octave
+	// hdrBuckets covers the full uint64 nanosecond range (anything beyond
+	// the last octave clamps, which would take a ~6-century latency).
+	hdrBuckets = subCount + (64-subBits)*(subCount/2)
+)
+
+// hdrIndex maps a value to its bucket.
+func hdrIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	e := uint(bits.Len64(v)) - subBits // octaves above the linear range, >= 1
+	m := v >> e                        // top subBits bits, in [subCount/2, subCount)
+	return subCount + int(e-1)*(subCount/2) + int(m) - subCount/2
+}
+
+// hdrValue maps a bucket back to its highest contained value, so quantiles
+// err on the pessimistic side.
+func hdrValue(idx int) uint64 {
+	if idx < subCount {
+		return uint64(idx)
+	}
+	r := idx - subCount
+	e := uint(r/(subCount/2)) + 1
+	m := uint64(r%(subCount/2)) + subCount/2
+	return (m+1)<<e - 1
+}
+
+// Record adds one latency observation.
+func (h *LatencyHist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v := uint64(d)
+	h.counts[hdrIndex(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds o into h.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *LatencyHist) Count() uint64 { return h.total }
+
+// Max returns the largest recorded observation exactly.
+func (h *LatencyHist) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the latency at quantile q in [0, 1]. The answer is the
+// upper edge of the bucket holding the q-th observation (within ~1.6% above
+// the true sample), except the maximum, which is exact.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			v := hdrValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -1,0 +1,124 @@
+package ycsb
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHDRIndexRoundTrip: every bucket's representative value must map back
+// to the same bucket, and indices must be monotone in the value.
+func TestHDRIndexRoundTrip(t *testing.T) {
+	for idx := 0; idx < hdrBuckets; idx++ {
+		v := hdrValue(idx)
+		if got := hdrIndex(v); got != idx {
+			t.Fatalf("hdrIndex(hdrValue(%d)) = %d", idx, got)
+		}
+	}
+	last := -1
+	for _, v := range []uint64{0, 1, 127, 128, 129, 255, 256, 1000, 1 << 20, 1<<40 + 12345} {
+		idx := hdrIndex(v)
+		if idx < last {
+			t.Fatalf("index not monotone at %d: %d < %d", v, idx, last)
+		}
+		last = idx
+	}
+}
+
+// TestHDRQuantileAccuracy checks quantiles against an exact sort of the same
+// samples: the histogram may only err upward, and by at most ~1.6% plus one
+// bucket of rank granularity.
+func TestHDRQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 100_000
+	var h LatencyHist
+	exact := make([]time.Duration, n)
+	for i := range exact {
+		// Log-uniform latencies from ~100ns to ~100ms.
+		d := time.Duration(100 * rng.ExpFloat64() * float64(uint64(1)<<uint(rng.Intn(20))))
+		exact[i] = d
+		h.Record(d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	if h.Count() != n {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := exact[int(q*float64(n))]
+		if got < want {
+			t.Fatalf("q%.3f = %v below exact %v", q, got, want)
+		}
+		if float64(got) > float64(want)*1.05 {
+			t.Fatalf("q%.3f = %v more than 5%% above exact %v", q, got, want)
+		}
+	}
+	if h.Max() != exact[n-1] {
+		t.Fatalf("max = %v, want %v", h.Max(), exact[n-1])
+	}
+}
+
+// memExec is an in-memory BatchExecutor for generator tests.
+type memExec struct {
+	mu  sync.Mutex
+	m   map[string][]byte
+	ops int
+}
+
+func (e *memExec) ExecBatch(cli int, ops []BatchOp) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range ops {
+		if !ops[i].Read {
+			e.m[ops[i].Key] = ops[i].Value
+		}
+	}
+	e.ops += len(ops)
+	return nil
+}
+
+// TestRunOpenAccounting: the open-loop runner must execute the configured
+// number of operations, record all of them, and keep roughly to the
+// intended schedule when the executor is fast.
+func TestRunOpenAccounting(t *testing.T) {
+	o := OpenLoop{
+		Workload: Workload{
+			Name: "open", Records: 100, Operations: 4000,
+			ReadProp: 0.5, ValueSize: 16, Zipfian: true, Clients: 4, Seed: 1,
+		},
+		Rate:     400_000, // fast schedule so the test stays quick
+		BatchOps: 8,
+	}
+	ex := &memExec{m: map[string][]byte{}}
+	res, err := RunOpen(o, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operations != uint64(ex.ops) || res.Operations != 4000 {
+		t.Fatalf("operations = %d, executor saw %d", res.Operations, ex.ops)
+	}
+	if res.Hist.Count() != res.Operations {
+		t.Fatalf("recorded %d of %d ops", res.Hist.Count(), res.Operations)
+	}
+	if res.IntendedRate != o.Rate {
+		t.Fatalf("intended rate = %v", res.IntendedRate)
+	}
+	if res.P50 > res.P99 || res.P99 > res.P999 || res.P999 > res.Max {
+		t.Fatalf("quantiles not monotone: %v %v %v %v", res.P50, res.P99, res.P999, res.Max)
+	}
+
+	// Closed-loop probe over the same workload.
+	o.Rate = 0
+	closed, err := RunBatches(o, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.IntendedRate != 0 {
+		t.Fatalf("closed loop reports an intended rate: %v", closed.IntendedRate)
+	}
+	if closed.Operations != 4000 {
+		t.Fatalf("closed operations = %d", closed.Operations)
+	}
+}

@@ -1,0 +1,215 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BatchOp is one operation of a request batch, chosen by the generator.
+type BatchOp struct {
+	Read  bool
+	Key   string
+	Value []byte // nil for reads
+}
+
+// BatchExecutor abstracts a pipelined transport under test: execute a whole
+// batch of operations as one request and return when every reply has
+// arrived. cli identifies the calling client goroutine.
+type BatchExecutor interface {
+	ExecBatch(cli int, ops []BatchOp) error
+}
+
+// OpenLoop describes an open-loop run phase: batches of BatchOps operations
+// arrive by a Poisson process at Rate operations per second (across all
+// clients), regardless of how fast the system answers.
+type OpenLoop struct {
+	Workload
+	Rate     float64 // intended total arrival rate, ops/sec
+	BatchOps int     // operations per request batch (pipeline depth)
+}
+
+// OpenResult summarises an open-loop (or closed-loop batch) phase. The
+// quantiles come from a full HDR-style recording of every operation — no
+// sampling — and, for the open-loop runner, are measured from each batch's
+// intended start time, so coordinated omission cannot hide queueing delay:
+// when the system falls behind, the schedule does not slip, and the backlog
+// shows up in the recorded latencies.
+type OpenResult struct {
+	Name           string
+	Operations     uint64
+	Reads, Updates uint64
+	Errors         uint64
+	Duration       time.Duration
+	IntendedRate   float64 // ops/sec the generator aimed for (0 = closed loop)
+	P50, P99, P999 time.Duration
+	Max            time.Duration
+	Hist           *LatencyHist
+}
+
+// KopsPerSec returns achieved throughput in thousands of ops per second.
+func (r OpenResult) KopsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Operations) / r.Duration.Seconds() / 1e3
+}
+
+// genState is the per-client op chooser shared by the open- and closed-loop
+// runners.
+type genState struct {
+	rng     *rand.Rand
+	chooser func() uint64
+	keys    []string
+	vals    [][]byte
+	read    float64
+}
+
+func newGenState(w Workload, cli int, keys []string) *genState {
+	g := &genState{
+		rng:  rand.New(rand.NewSource(w.Seed + int64(cli)*31337)),
+		keys: keys,
+		read: w.ReadProp,
+	}
+	if w.Zipfian {
+		z := NewZipf(uint64(w.Records), w.Seed+int64(cli))
+		g.chooser = z.Next
+	} else {
+		g.chooser = func() uint64 { return uint64(g.rng.Intn(w.Records)) }
+	}
+	// A small rotation of precomputed values keeps the generator free of
+	// per-op allocation without sending identical bytes every time.
+	g.vals = make([][]byte, 16)
+	for i := range g.vals {
+		g.vals[i] = w.Value(cli*len(g.vals) + i)
+	}
+	return g
+}
+
+// fill chooses the next batch of operations in place.
+func (g *genState) fill(ops []BatchOp, reads, updates *uint64) {
+	for i := range ops {
+		k := g.keys[g.chooser()]
+		if g.rng.Float64() < g.read {
+			ops[i] = BatchOp{Read: true, Key: k}
+			*reads++
+		} else {
+			ops[i] = BatchOp{Key: k, Value: g.vals[int(g.rng.Int31())&15]}
+			*updates++
+		}
+	}
+}
+
+// precomputeKeys renders every record key once, so the generators never
+// format keys on the hot path.
+func precomputeKeys(records int) []string {
+	keys := make([]string, records)
+	for i := range keys {
+		keys[i] = Key(i)
+	}
+	return keys
+}
+
+// runBatched is the shared driver: open-loop when rate > 0 (Poisson
+// arrivals, intended-start latency), closed-loop back-to-back otherwise.
+func runBatched(o OpenLoop, ex BatchExecutor, openLoop bool) (OpenResult, error) {
+	if o.BatchOps <= 0 {
+		o.BatchOps = 1
+	}
+	keys := precomputeKeys(o.Records)
+	batchesPer := o.Operations / (o.Clients * o.BatchOps)
+	if batchesPer == 0 {
+		batchesPer = 1
+	}
+	type clientTally struct {
+		hist           LatencyHist
+		reads, updates uint64
+		errors         uint64
+	}
+	tallies := make([]*clientTally, o.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(cli int) {
+			defer wg.Done()
+			t := &clientTally{}
+			tallies[cli] = t
+			g := newGenState(o.Workload, cli, keys)
+			ops := make([]BatchOp, o.BatchOps)
+			// Mean gap between this client's batches, in nanoseconds.
+			var meanGap float64
+			if openLoop {
+				meanGap = float64(o.BatchOps*o.Clients) / o.Rate * 1e9
+			}
+			var intended time.Duration
+			for b := 0; b < batchesPer; b++ {
+				issueAt := start
+				if openLoop {
+					intended += time.Duration(g.rng.ExpFloat64() * meanGap)
+					issueAt = start.Add(intended)
+					if d := time.Until(issueAt); d > 0 {
+						time.Sleep(d)
+					}
+				} else {
+					issueAt = time.Now()
+				}
+				g.fill(ops, &t.reads, &t.updates)
+				if err := ex.ExecBatch(cli, ops); err != nil {
+					t.errors += uint64(len(ops))
+					continue
+				}
+				// Every op of the batch shares the batch's intended start:
+				// the latency a caller would have seen had it issued the op
+				// on schedule.
+				lat := time.Since(issueAt)
+				for range ops {
+					t.hist.Record(lat)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res := OpenResult{
+		Name:     o.Name,
+		Duration: time.Since(start),
+		Hist:     &LatencyHist{},
+	}
+	if openLoop {
+		res.IntendedRate = o.Rate
+	}
+	for _, t := range tallies {
+		res.Hist.Merge(&t.hist)
+		res.Reads += t.reads
+		res.Updates += t.updates
+		res.Errors += t.errors
+	}
+	res.Operations = res.Reads + res.Updates - res.Errors
+	res.P50 = res.Hist.Quantile(0.50)
+	res.P99 = res.Hist.Quantile(0.99)
+	res.P999 = res.Hist.Quantile(0.999)
+	res.Max = res.Hist.Max()
+	if res.Errors > 0 {
+		return res, fmt.Errorf("ycsb: %d batch-op errors", res.Errors)
+	}
+	return res, nil
+}
+
+// RunOpen executes the open-loop phase: Poisson arrivals at o.Rate ops/sec,
+// latency accounted from each batch's intended start (coordinated-omission
+// safe), every operation recorded.
+func RunOpen(o OpenLoop, ex BatchExecutor) (OpenResult, error) {
+	if o.Rate <= 0 {
+		return OpenResult{}, fmt.Errorf("ycsb: open loop needs a positive rate")
+	}
+	return runBatched(o, ex, true)
+}
+
+// RunBatches executes batches back to back in a closed loop — the capacity
+// probe: achieved throughput is the transport's limit at this batch depth.
+// Latencies are recorded (from each batch's send time) but are closed-loop
+// figures; use RunOpen for coordinated-omission-safe tails.
+func RunBatches(o OpenLoop, ex BatchExecutor) (OpenResult, error) {
+	return runBatched(o, ex, false)
+}

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,7 +139,8 @@ type Executor interface {
 	Get(cli int, key string) ([]byte, bool, error)
 }
 
-// Result summarises a phase.
+// Result summarises a phase. Quantiles come from a full HDR-style recording
+// of every operation (see LatencyHist).
 type Result struct {
 	Name       string
 	Operations uint64
@@ -149,6 +149,7 @@ type Result struct {
 	Updates    uint64
 	Errors     uint64
 	P50, P99   time.Duration
+	P999       time.Duration
 	Max        time.Duration
 }
 
@@ -192,12 +193,14 @@ func Load(w Workload, ex Executor) (Result, error) {
 }
 
 // Run executes the run phase with w.Clients concurrent clients and returns
-// aggregate throughput and latency percentiles (sampled, 1 in 16 ops).
+// aggregate throughput and latency percentiles. Every operation's latency
+// is recorded in a per-client LatencyHist — no sampling — so the tail
+// quantiles are backed by the full population.
 func Run(w Workload, ex Executor) (Result, error) {
 	var wg sync.WaitGroup
 	var reads, updates, errs atomic.Uint64
 	perClient := w.Operations / w.Clients
-	samples := make([][]time.Duration, w.Clients)
+	hists := make([]*LatencyHist, w.Clients)
 	start := time.Now()
 	for c := 0; c < w.Clients; c++ {
 		wg.Add(1)
@@ -211,7 +214,8 @@ func Run(w Workload, ex Executor) (Result, error) {
 			} else {
 				chooser = func() uint64 { return uint64(rng.Intn(w.Records)) }
 			}
-			var local []time.Duration
+			h := &LatencyHist{}
+			hists[cli] = h
 			for i := 0; i < perClient; i++ {
 				k := Key(int(chooser()))
 				t0 := time.Now()
@@ -226,11 +230,8 @@ func Run(w Workload, ex Executor) (Result, error) {
 				if err != nil {
 					errs.Add(1)
 				}
-				if i%16 == 0 {
-					local = append(local, time.Since(t0))
-				}
+				h.Record(time.Since(t0))
 			}
-			samples[cli] = local
 		}(c)
 	}
 	wg.Wait()
@@ -242,15 +243,15 @@ func Run(w Workload, ex Executor) (Result, error) {
 		Updates:    updates.Load(),
 		Errors:     errs.Load(),
 	}
-	var all []time.Duration
-	for _, s := range samples {
-		all = append(all, s...)
+	all := &LatencyHist{}
+	for _, h := range hists {
+		all.Merge(h)
 	}
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		res.P50 = all[len(all)/2]
-		res.P99 = all[len(all)*99/100]
-		res.Max = all[len(all)-1]
+	if all.Count() > 0 {
+		res.P50 = all.Quantile(0.50)
+		res.P99 = all.Quantile(0.99)
+		res.P999 = all.Quantile(0.999)
+		res.Max = all.Max()
 	}
 	if res.Errors > 0 {
 		return res, fmt.Errorf("ycsb: %d run errors", res.Errors)
