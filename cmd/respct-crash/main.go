@@ -15,16 +15,21 @@
 //	exit 3  a child was killed by an unexpected signal (crash in the harness
 //	        itself — SIGSEGV, OOM SIGKILL, ... — NOT a durability verdict)
 //	exit 4  a child exceeded -child-timeout and was killed
+//	exit 5  -sanitize found persistency-protocol violations (the runtime
+//	        sanitizer, internal/psan, tripped on the reference run)
 //
 // When several classes occur, signal (3) wins over timeout (4) over
-// failure (1): a harness crash makes the durability verdict meaningless, so
-// it must not be summarised as an ordinary red run.
+// sanitizer findings (5) over failure (1): a harness crash makes the
+// durability verdict meaningless, so it must not be summarised as an
+// ordinary red run; sanitizer findings name the violating store, which
+// subsumes the image-diff failure they would otherwise cause.
 //
 // Usage:
 //
 //	respct-crash [-seeds n] [-threads n] [-interval d] [-evict n] [-structure map|queue|both]
 //	respct-crash -war                             # §3.3.2 WAR-without-logging hazard demo
 //	respct-crash -explore map-sync -budget 200    # deterministic crash-point exploration
+//	respct-crash -explore map-sync -sanitize      # + runtime persistency sanitizer
 //	respct-crash -replay repro.json               # replay a minimized explorer repro
 //
 // -explore enumerates every image-changing write-back of a deterministic
@@ -57,6 +62,7 @@ const (
 	exitUsage       = 2
 	exitSignal      = 3
 	exitTimeout     = 4
+	exitSanitizer   = 5
 )
 
 // exitClass is a child's classified fate, ordered by severity of what it
@@ -121,6 +127,7 @@ func main() {
 
 	explore := flag.String("explore", "", "explore crash points of the named crashexplore workload ('list' to list)")
 	budget := flag.Int("budget", 0, "crash-point budget for -explore (0 = exhaustive)")
+	sanitize := flag.Bool("sanitize", false, "attach the runtime persistency sanitizer to -explore reference runs")
 	reproDir := flag.String("repro-dir", "", "directory for minimized repro files from -explore")
 	replay := flag.String("replay", "", "replay a crashexplore repro file")
 	flag.Parse()
@@ -131,7 +138,7 @@ func main() {
 	case *replay != "":
 		os.Exit(runReplay(*replay))
 	case *explore != "":
-		os.Exit(runExplore(*explore, *budget, *reproDir))
+		os.Exit(runExplore(*explore, *budget, *reproDir, *sanitize))
 	case *subprocess:
 		os.Exit(runOneSoak(*structure, *seed, *threads, *interval, *evict))
 	default:
@@ -264,7 +271,7 @@ func supervise(structure string, seeds, threads int, interval time.Duration, evi
 
 // runExplore drives internal/crashexplore over one named workload (or all
 // of them) and prints the coverage report.
-func runExplore(name string, budget int, reproDir string) int {
+func runExplore(name string, budget int, reproDir string, sanitize bool) int {
 	names := []string{name}
 	if name == "all" {
 		names = crashexplore.Names()
@@ -281,25 +288,38 @@ func runExplore(name string, budget int, reproDir string) int {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return exitUsage
 		}
-		rep, err := crashexplore.Explore(w, crashexplore.Options{Budget: budget, ReproDir: reproDir})
+		rep, err := crashexplore.Explore(w, crashexplore.Options{Budget: budget, ReproDir: reproDir, Sanitize: sanitize})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return exitSoakFailure
+		}
+		if len(rep.SanFindings) > 0 {
+			fmt.Printf("%-20s SANITIZER: %d persistency violations on the reference run\n",
+				rep.Workload, len(rep.SanFindings))
+			for _, f := range rep.SanFindings {
+				fmt.Printf("  %s\n", f)
+			}
+			code = exitSanitizer
+			continue
 		}
 		sampled := ""
 		if rep.Sampled {
 			sampled = fmt.Sprintf(" (sampled, %d skipped)", rep.Skipped)
 		}
-		fmt.Printf("%-20s %4d events, %4d ordering points, %4d explored%s, %d deduped, %d failures  [%s]\n",
+		sanitized := ""
+		if rep.Sanitized {
+			sanitized = ", sanitized clean"
+		}
+		fmt.Printf("%-20s %4d events, %4d ordering points, %4d explored%s, %d deduped, %d failures%s  [%s]\n",
 			rep.Workload, rep.Events, rep.OrderingPoints, rep.Explored, sampled, rep.Deduped,
-			len(rep.Failures), rep.Elapsed.Round(time.Millisecond))
+			len(rep.Failures), sanitized, rep.Elapsed.Round(time.Millisecond))
 		for _, f := range rep.Failures {
 			fmt.Printf("  crash point %d: %s\n", f.Seq, f.Err)
 		}
 		if rep.ReproPath != "" {
 			fmt.Printf("  minimized repro written to %s\n", rep.ReproPath)
 		}
-		if len(rep.Failures) > 0 {
+		if len(rep.Failures) > 0 && code != exitSanitizer {
 			code = exitSoakFailure
 		}
 	}

@@ -78,7 +78,7 @@ func TestSeverityOrder(t *testing.T) {
 // pick up the minimized repro, and replay it through the CLI path.
 func TestExploreAndReplayRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	if code := runExplore("map-sync-badcommit", 0, dir); code != exitSoakFailure {
+	if code := runExplore("map-sync-badcommit", 0, dir, false); code != exitSoakFailure {
 		t.Fatalf("runExplore(map-sync-badcommit) = %d, want %d", code, exitSoakFailure)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
@@ -89,10 +89,10 @@ func TestExploreAndReplayRoundTrip(t *testing.T) {
 		t.Errorf("runReplay(%s) = %d, want %d (violation must reproduce)", matches[0], code, exitSoakFailure)
 	}
 
-	if code := runExplore("map-tiny", 0, dir); code != exitOK {
+	if code := runExplore("map-tiny", 0, dir, false); code != exitOK {
 		t.Errorf("runExplore(map-tiny) = %d, want %d", code, exitOK)
 	}
-	if code := runExplore("no-such-workload", 0, ""); code != exitUsage {
+	if code := runExplore("no-such-workload", 0, "", false); code != exitUsage {
 		t.Errorf("runExplore(unknown) = %d, want %d", code, exitUsage)
 	}
 	if code := runReplay(filepath.Join(dir, "missing.json")); code != exitUsage {
@@ -122,5 +122,17 @@ func TestReproFileIsSelfContained(t *testing.T) {
 	}
 	if res.Divergence == "" {
 		t.Fatal("loaded repro did not reproduce the violation")
+	}
+}
+
+// The sanitized explore path: a clean workload explores normally and exits
+// 0; the seeded bad-commit workload must stop at the reference run with
+// exit code 5, the sanitizer verdict.
+func TestExploreSanitizedExitCodes(t *testing.T) {
+	if code := runExplore("map-tiny", 0, "", true); code != exitOK {
+		t.Errorf("sanitized runExplore(map-tiny) = %d, want %d", code, exitOK)
+	}
+	if code := runExplore("map-sync-badcommit", 0, "", true); code != exitSanitizer {
+		t.Errorf("sanitized runExplore(map-sync-badcommit) = %d, want %d", code, exitSanitizer)
 	}
 }

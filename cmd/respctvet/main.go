@@ -1,8 +1,10 @@
-// Command respctvet is the ResPCT crash-consistency vet tool: six
+// Command respctvet is the ResPCT crash-consistency vet tool: eight
 // go/analysis analyzers that prove the tracking, checkpoint-protocol,
-// persist-ordering, atomic-discipline, cache-line-size and godoc-coverage
-// invariants at compile time instead of relying on crash soaks (or code
-// review) to hit them.
+// persist-ordering, atomic-discipline, cache-line-size, godoc-coverage and
+// suppression-hygiene invariants at compile time instead of relying on crash
+// soaks (or code review) to hit them. The flushfact analyzer exports
+// per-function durability summaries as analysis facts, so the proofs hold
+// across function and package boundaries.
 //
 // It speaks the go vet unitchecker protocol, so the supported invocation is
 // through the go command, which drives it package by package with facts
@@ -17,23 +19,32 @@
 package main
 
 import (
+	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"github.com/respct/respct/internal/analysis/allowlint"
 	"github.com/respct/respct/internal/analysis/atomicmix"
 	"github.com/respct/respct/internal/analysis/exportdoc"
+	"github.com/respct/respct/internal/analysis/flushfact"
 	"github.com/respct/respct/internal/analysis/linefit"
 	"github.com/respct/respct/internal/analysis/persistorder"
 	"github.com/respct/respct/internal/analysis/preventpair"
 	"github.com/respct/respct/internal/analysis/rawstore"
 )
 
+// Analyzers is the registered suite, also consumed by the tests that assert
+// it stays in sync with directive.KnownAnalyzers.
+var Analyzers = []*analysis.Analyzer{
+	flushfact.Analyzer,
+	rawstore.Analyzer,
+	preventpair.Analyzer,
+	persistorder.Analyzer,
+	atomicmix.Analyzer,
+	linefit.Analyzer,
+	exportdoc.Analyzer,
+	allowlint.Analyzer,
+}
+
 func main() {
-	unitchecker.Main(
-		rawstore.Analyzer,
-		preventpair.Analyzer,
-		persistorder.Analyzer,
-		atomicmix.Analyzer,
-		linefit.Analyzer,
-		exportdoc.Analyzer,
-	)
+	unitchecker.Main(Analyzers...)
 }

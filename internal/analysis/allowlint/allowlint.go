@@ -1,0 +1,73 @@
+// Package allowlint defines an analyzer that lints the //respct:allow
+// suppression directives themselves.
+//
+// A directive is an escape hatch from the other respctvet analyzers, and an
+// escape hatch that silently does nothing is worse than none: a directive
+// naming a misspelled or nonexistent analyzer ("//respct:allow rawstores — …")
+// suppresses no finding, so the author believes a bypass is registered while
+// the analyzer it was aimed at may simply not fire on that line today — and
+// when it starts firing, the stale directive reads like the finding is
+// already triaged. allowlint flags every directive whose analyzer name is
+// not in directive.KnownAnalyzers, and every directive with no analyzer name
+// at all.
+//
+// Justification checking stays where it was: each analyzer reports a bare
+// directive at the moment it would otherwise suppress a finding (see
+// directive.Report). allowlint deliberately does not duplicate that, so a
+// justified directive for a correct name is never double-reported here.
+package allowlint
+
+import (
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/respct/respct/internal/analysis/directive"
+)
+
+const doc = `flag //respct:allow directives naming nonexistent analyzers
+
+A suppression directive whose analyzer name is misspelled or unknown
+silently suppresses nothing; the bypass the author believes is registered
+does not exist. Every directive must name a registered analyzer.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "allowlint",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, _, ok := directive.Parse(c.Text)
+				if !ok {
+					continue
+				}
+				switch {
+				case name == "":
+					pass.Reportf(c.Pos(),
+						"//%s directive names no analyzer: write //%s <analyzer> — <justification>",
+						directive.Prefix, directive.Prefix)
+				case !directive.KnownAnalyzers[name]:
+					pass.Reportf(c.Pos(),
+						"//%s directive names unknown analyzer %q (known: %s): it suppresses nothing",
+						directive.Prefix, name, knownList())
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// knownList renders the registered analyzer names, sorted, for the report.
+func knownList() string {
+	names := make([]string, 0, len(directive.KnownAnalyzers))
+	for n := range directive.KnownAnalyzers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}

@@ -1,0 +1,12 @@
+package allowlint_test
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/analysis/allowlint"
+	"github.com/respct/respct/internal/analysis/analyzertest"
+)
+
+func TestAllowLint(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), allowlint.Analyzer, "a")
+}

@@ -1,0 +1,25 @@
+// Package a exercises the allow-directive lint: directives naming a known
+// analyzer pass, misspelled or bare ones are findings. Flagged cases use the
+// block-comment directive form so the // want expectation can share the line.
+package a
+
+//respct:allow rawstore — a well-formed directive naming a real analyzer.
+func suppressedFine() {}
+
+/*respct:allow rawstor — misspelled analyzer name*/ // want `directive names unknown analyzer "rawstor"`
+func misspelled() {}
+
+/*respct:allow raw store — name split by a typo*/ // want `directive names unknown analyzer "raw"`
+func splitName() {}
+
+/*respct:allow — justification but no analyzer name*/ // want `directive names no analyzer`
+func bareSeparator() {}
+
+/*respct:allow*/ // want `directive names no analyzer`
+func bareNothing() {}
+
+//respct:allow flushfact — facts analyzer is registered too.
+func knownFact() {}
+
+// An ordinary comment mentioning respct:allow in prose is not a directive.
+func prose() {}

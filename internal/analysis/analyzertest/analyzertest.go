@@ -53,6 +53,11 @@ func TestData() string {
 // imports (any import path that exists under dir/src) are loaded and
 // analyzed first, so object facts exported on their objects are visible to
 // the named packages.
+//
+// Every loaded package is checked, not only the named ones: a dependency
+// analyzed for its facts is held to the same standard — its // want
+// expectations must fire and any unexpected diagnostic in it fails the test
+// — so a new false positive in shared fixture code cannot land silently.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	h := &harness{
@@ -65,6 +70,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 		pkgFacts: make(map[pkgFactKey]analysis.Fact),
 	}
 	h.source = importer.ForCompiler(h.fset, "source", nil)
+	checked := make(map[*loadedPkg]bool)
 	for _, path := range pkgs {
 		p := h.load(path)
 		if p == nil {
@@ -72,6 +78,20 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 			continue
 		}
 		h.analyze(a, p)
+		h.check(p)
+		checked[p] = true
+	}
+	// Dependency packages collected diagnostics (and possibly wants) while
+	// the named packages were analyzed: diff them too. Sort for stable
+	// failure output.
+	deps := make([]*loadedPkg, 0, len(h.packages))
+	for _, p := range h.packages {
+		if !checked[p] {
+			deps = append(deps, p)
+		}
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i].path < deps[j].path })
+	for _, p := range deps {
 		h.check(p)
 	}
 }

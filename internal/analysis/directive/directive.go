@@ -5,9 +5,9 @@
 //
 //	//respct:allow <analyzer> — <justification>
 //
-// where <analyzer> is the analyzer's name (rawstore, preventpair,
-// persistorder, atomicmix, linefit) and <justification> is mandatory free
-// text explaining why the bypass is sound. The separator between the name
+// where <analyzer> is a name in KnownAnalyzers and <justification> is
+// mandatory free text explaining why the bypass is sound. The block form
+// /*respct:allow ...*/ is equivalent. The separator between the name
 // and the justification may be an em dash, "--", "-" or ":". A directive
 // with no justification does not suppress anything: the analyzer reports the
 // bare directive instead, so the tree can never accumulate unexplained
@@ -31,6 +31,21 @@ import (
 
 // Prefix is the comment prefix (after "//") that introduces a suppression.
 const Prefix = "respct:allow"
+
+// KnownAnalyzers names every analyzer a //respct:allow directive may
+// suppress. The allowlint analyzer flags directives naming anything else (a
+// misspelled name silently suppresses nothing), and the respctvet test
+// asserts this set matches the command's registration list.
+var KnownAnalyzers = map[string]bool{
+	"rawstore":     true,
+	"preventpair":  true,
+	"persistorder": true,
+	"atomicmix":    true,
+	"linefit":      true,
+	"exportdoc":    true,
+	"flushfact":    true,
+	"allowlint":    true,
+}
 
 // minJustification is the minimum length of the justification text. It is
 // deliberately short — the point is to force *some* explanation, not to
@@ -107,11 +122,28 @@ func Report(pass *analysis.Pass, pos token.Pos, format string, args ...interface
 	}
 }
 
+// Parse splits a comment's text into the directive's analyzer name and
+// justification. ok is false when the comment is not a respct:allow
+// directive at all; a directive whose first token is a separator (or that
+// has no tokens) returns an empty name.
+func Parse(text string) (name, justification string, ok bool) {
+	name, justification, ok = parse(text)
+	for _, sep := range []string{"—", "--", "-", ":"} {
+		if name == sep {
+			return "", strings.TrimSpace(justification), ok
+		}
+	}
+	return name, justification, ok
+}
+
 // parse splits a comment's text into the directive's analyzer name and
 // justification. ok is false when the comment is not a respct:allow
 // directive at all.
 func parse(text string) (name, justification string, ok bool) {
 	text = strings.TrimPrefix(text, "//")
+	if strings.HasPrefix(text, "/*") {
+		text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+	}
 	text = strings.TrimSpace(text)
 	if !strings.HasPrefix(text, Prefix) {
 		return "", "", false

@@ -1,0 +1,317 @@
+// Package flushfact computes interprocedural durability facts for the
+// respctvet suite.
+//
+// The rawstore/persistorder/preventpair analyzers prove ResPCT's
+// track-flush-publish discipline within one function; before this analyzer
+// existed, any function that *delegated* part of the obligation — "my callee
+// persists the entry", "my helper registers the range", "this method blocks
+// on CondWait for me" — could only be silenced with a //respct:allow
+// directive. flushfact restores the proof across call boundaries: it
+// summarises every function as a FnFact ("flushes parameter 0", "tracks
+// parameter 1", "publishes parameter 0", "must run with checkpoints
+// prevented") and exports the summaries as go/analysis object facts, so the
+// consuming analyzers accept a delegated obligation exactly when the callee
+// provably discharges it — in this package, an imported one, or transitively
+// through both.
+//
+// The summaries are computed to a fixpoint within each package (intra-package
+// delegation chains converge in a few iterations) and consumed across
+// packages through the analysis framework's fact store, which both the go
+// vet unitchecker driver and the in-repo analyzertest harness provide.
+// Parameter addresses are matched by base identifier: an argument expression
+// like `ent+entSeqOff` or `pmem.Addr(p)` resolves to the parameter `ent`/`p`
+// it offsets or converts. Addresses laundered through locals or struct
+// fields resolve to nothing and simply produce no fact — the analyzer
+// under-approximates, never over-claims.
+//
+// flushfact reports no diagnostics of its own (set Debug in tests to dump
+// each exported fact at its function declaration); its value is the *Facts
+// result consumed by the other analyzers via Requires.
+package flushfact
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"github.com/respct/respct/internal/analysis/respctapi"
+)
+
+const doc = `summarise per-function durability behaviour as analysis facts
+
+For every function, record which pmem.Addr/InCLL parameters it tracks
+(AddModified/StoreTracked/Update), flushes (CLWB/Persist/PersistRange), or
+raw-stores (publishes), and whether it must be called with checkpoints
+prevented (it reaches CondWait without its own CheckpointPrevent). The
+rawstore, persistorder and preventpair analyzers consume these facts so
+durability obligations delegated across calls are proved, not suppressed.`
+
+// Analyzer exports a FnFact for every function whose body discharges or
+// imposes a durability obligation, and returns the package's *Facts view.
+var Analyzer = &analysis.Analyzer{
+	Name:       "flushfact",
+	Doc:        doc,
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes:  []analysis.Fact{(*FnFact)(nil)},
+	ResultType: reflect.TypeOf((*Facts)(nil)),
+	Run:        run,
+}
+
+// Debug, when set (tests only), reports every computed fact at the function
+// declaration it belongs to, so testdata can assert the summaries with
+// // want comments.
+var Debug = false
+
+// FnFact summarises the durability-relevant behaviour of one function over
+// its parameters. Bit i of each mask refers to parameter i (receivers are
+// not summarised; parameter lists beyond 64 entries are truncated).
+type FnFact struct {
+	// Tracks: the address named by parameter i is registered with the
+	// checkpoint flush set (AddModified, AddModifiedRange, StoreTracked,
+	// Update, Init) before return.
+	Tracks uint64
+	// Flushes: the line(s) named by parameter i are explicitly persisted
+	// (Flusher.CLWB/Persist/PersistRange) before return.
+	Flushes uint64
+	// Publishes: the address named by parameter i is the target of a raw
+	// heap store (Store64/StoreBytes/CAS64/Add64) — a cursor-style publish
+	// whose ordering persistorder must account for at the call site.
+	Publishes uint64
+	// NeedsPrevent: the function reaches Thread.CondWait (directly or via a
+	// callee with this fact) without establishing its own prevented state,
+	// so callers must invoke it with checkpoints prevented.
+	NeedsPrevent bool
+}
+
+// AFact marks FnFact as a go/analysis fact.
+func (*FnFact) AFact() {}
+
+func (f *FnFact) zero() bool {
+	return f.Tracks == 0 && f.Flushes == 0 && f.Publishes == 0 && !f.NeedsPrevent
+}
+
+// String renders the fact for Debug reports and fact dumps.
+func (f *FnFact) String() string {
+	mask := func(m uint64) string {
+		var idx []string
+		for i := 0; i < 64; i++ {
+			if m&(1<<uint(i)) != 0 {
+				idx = append(idx, strconv.Itoa(i))
+			}
+		}
+		return "[" + strings.Join(idx, " ") + "]"
+	}
+	s := fmt.Sprintf("tracks=%s flushes=%s publishes=%s", mask(f.Tracks), mask(f.Flushes), mask(f.Publishes))
+	if f.NeedsPrevent {
+		s += " needsPrevent"
+	}
+	return s
+}
+
+// Facts is the lookup view handed to dependent analyzers: summaries for the
+// current package's functions plus every imported function the package
+// calls (resolved through the fact store).
+type Facts struct {
+	m map[*types.Func]*FnFact
+}
+
+// Of returns the summary recorded for fn, or nil if fn has none (or is nil).
+func (f *Facts) Of(fn *types.Func) *FnFact {
+	if f == nil || fn == nil {
+		return nil
+	}
+	return f.m[fn]
+}
+
+// funcInfo is one function declaration under summarisation.
+type funcInfo struct {
+	fn     *types.Func
+	decl   *ast.FuncDecl
+	params map[types.Object]int // parameter object -> index
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	var funcs []*funcInfo
+	facts := make(map[*types.Func]*FnFact)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || respctapi.IsTestFile(pass, decl.Pos()) {
+			return
+		}
+		fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		params := make(map[types.Object]int)
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len() && i < 64; i++ {
+			params[sig.Params().At(i)] = i
+		}
+		fi := &funcInfo{fn: fn, decl: decl, params: params}
+		funcs = append(funcs, fi)
+		facts[fn] = &FnFact{}
+	})
+
+	// imported memoizes fact lookups for functions outside this package.
+	imported := make(map[*types.Func]*FnFact)
+	lookup := func(fn *types.Func) *FnFact {
+		if fn == nil {
+			return nil
+		}
+		if f, ok := facts[fn]; ok {
+			return f
+		}
+		if f, ok := imported[fn]; ok {
+			return f
+		}
+		var f FnFact
+		if pass.ImportObjectFact(fn, &f) {
+			imported[fn] = &f
+			return &f
+		}
+		imported[fn] = nil
+		return nil
+	}
+
+	// Fixpoint over the package: each pass folds callee summaries into the
+	// callers'. The masks only grow, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			nf := summarise(pass, fi, lookup)
+			if nf != *facts[fi.fn] {
+				*facts[fi.fn] = nf
+				changed = true
+			}
+		}
+	}
+
+	result := &Facts{m: make(map[*types.Func]*FnFact, len(facts)+len(imported))}
+	for _, fi := range funcs {
+		f := facts[fi.fn]
+		if f.zero() {
+			continue
+		}
+		result.m[fi.fn] = f
+		fact := *f
+		pass.ExportObjectFact(fi.fn, &fact)
+		if Debug {
+			pass.Reportf(fi.decl.Name.Pos(), "flushfact %s", f)
+		}
+	}
+	for fn, f := range imported {
+		if f != nil {
+			result.m[fn] = f
+		}
+	}
+	return result, nil
+}
+
+// summarise computes one function's current summary given the callee
+// summaries visible through lookup.
+func summarise(pass *analysis.Pass, fi *funcInfo, lookup func(*types.Func) *FnFact) FnFact {
+	var out FnFact
+	sawCondWait, sawPrevent := false, false
+	set := func(mask *uint64, arg ast.Expr) {
+		if i, ok := paramBase(pass.TypesInfo, fi.params, arg); ok {
+			*mask |= 1 << uint(i)
+		}
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := respctapi.ThreadMethodName(pass, call); ok {
+			switch name {
+			case "AddModified", "AddModifiedRange", "StoreTracked", "Update", "Init":
+				if len(call.Args) > 0 {
+					set(&out.Tracks, call.Args[0])
+				}
+			case "CondWait":
+				sawCondWait = true
+			case "CheckpointPrevent":
+				sawPrevent = true
+			}
+			return true
+		}
+		if name, ok := respctapi.FlusherMethodName(pass, call); ok {
+			switch name {
+			case "CLWB", "Persist", "PersistRange":
+				if len(call.Args) > 0 {
+					set(&out.Flushes, call.Args[0])
+				}
+			}
+			return true
+		}
+		if _, ok := respctapi.IsRawHeapStore(pass, call); ok {
+			if len(call.Args) > 0 {
+				set(&out.Publishes, call.Args[0])
+			}
+			return true
+		}
+		if fact := lookup(respctapi.Callee(pass, call)); fact != nil {
+			for j, arg := range call.Args {
+				if j >= 64 {
+					break
+				}
+				bit := uint64(1) << uint(j)
+				if fact.Tracks&bit != 0 {
+					set(&out.Tracks, arg)
+				}
+				if fact.Flushes&bit != 0 {
+					set(&out.Flushes, arg)
+				}
+				if fact.Publishes&bit != 0 {
+					set(&out.Publishes, arg)
+				}
+			}
+			if fact.NeedsPrevent {
+				sawCondWait = true
+			}
+		}
+		return true
+	})
+	out.NeedsPrevent = sawCondWait && !sawPrevent
+	return out
+}
+
+// paramBase resolves the base parameter an address expression names: it
+// unwraps parentheses, keeps the left operand of arithmetic (`ent+off` is
+// based at `ent`), and looks through type conversions (`pmem.Addr(p)`).
+// Anything else — locals, fields, call results — resolves to nothing, which
+// keeps the summaries under-approximate.
+func paramBase(info *types.Info, params map[types.Object]int, e ast.Expr) (int, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.BinaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// Only conversions are transparent; real calls are opaque.
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return 0, false
+		case *ast.Ident:
+			if i, ok := params[info.Uses[x]]; ok {
+				return i, true
+			}
+			return 0, false
+		default:
+			return 0, false
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package flushfact_test
+
+import (
+	"testing"
+
+	"github.com/respct/respct/internal/analysis/analyzertest"
+	"github.com/respct/respct/internal/analysis/flushfact"
+)
+
+func TestFlushFact(t *testing.T) {
+	flushfact.Debug = true
+	defer func() { flushfact.Debug = false }()
+	analyzertest.Run(t, analyzertest.TestData(), flushfact.Analyzer, "a", "helpers")
+}

@@ -1,0 +1,65 @@
+// Package a exercises the flushfact summaries: direct discharge, arithmetic
+// and conversions on parameter addresses, intra-package and cross-package
+// transitive delegation, and the needsPrevent marker.
+package a
+
+import (
+	"helpers"
+	"sync"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// writeEntry raw-stores through offsets of its parameter.
+func writeEntry(h *pmem.Heap, ent pmem.Addr, v uint64) { // want `flushfact tracks=\[\] flushes=\[\] publishes=\[1\]`
+	h.Store64(ent, v)
+	h.Store64(ent+8, v)
+}
+
+// persistEntry flushes through a type conversion of its parameter.
+func persistEntry(f *pmem.Flusher, p uint64) { // want `flushfact tracks=\[\] flushes=\[1\] publishes=\[\]`
+	f.Persist(pmem.Addr(p))
+}
+
+// trackBoth registers two parameters with the flush set.
+func trackBoth(t *core.Thread, a, b pmem.Addr) { // want `flushfact tracks=\[1 2\] flushes=\[\] publishes=\[\]`
+	t.AddModified(a)
+	t.AddModifiedRange(b, 64)
+}
+
+// chain delegates within the package; the fixpoint folds writeEntry's and
+// persistEntry's summaries into it.
+func chain(f *pmem.Flusher, h *pmem.Heap, ent pmem.Addr) { // want `flushfact tracks=\[\] flushes=\[2\] publishes=\[2\]`
+	writeEntry(h, ent, 1)
+	persistEntry(f, uint64(ent))
+}
+
+// crossPackage delegates to helpers; the facts flow through the import.
+func crossPackage(t *core.Thread, f *pmem.Flusher, a pmem.Addr) { // want `flushfact tracks=\[2\] flushes=\[2\] publishes=\[\]`
+	helpers.TrackWord(t, a)
+	helpers.Durable(f, a)
+}
+
+// waits blocks inside the caller's prevented state.
+func waits(t *core.Thread, c *sync.Cond, mu sync.Locker) { // want `flushfact tracks=\[\] flushes=\[\] publishes=\[\] needsPrevent`
+	t.CondWait(c, mu)
+}
+
+// waitsTransitively inherits needsPrevent from waits.
+func waitsTransitively(t *core.Thread, c *sync.Cond, mu sync.Locker) { // want `flushfact tracks=\[\] flushes=\[\] publishes=\[\] needsPrevent`
+	waits(t, c, mu)
+}
+
+// ownDiscipline prevents for itself: not marked.
+func ownDiscipline(t *core.Thread, c *sync.Cond, mu sync.Locker) {
+	t.CheckpointPrevent(mu)
+	waits(t, c, mu)
+}
+
+// laundered passes the address through a local: the summary deliberately
+// under-approximates and records nothing.
+func laundered(f *pmem.Flusher, a pmem.Addr) {
+	tmp := a
+	f.Persist(tmp)
+}

@@ -1,0 +1,22 @@
+// Package core is a testdata stand-in declaring the tracking and checkpoint
+// protocol surface flushfact matches on. Bodies are deliberately empty:
+// recognition is by import path + method name, not by facts about core
+// itself.
+package core
+
+import (
+	"sync"
+
+	"github.com/respct/respct/internal/pmem"
+)
+
+type Thread struct{}
+
+func (t *Thread) StoreTracked(a pmem.Addr, v uint64)      {}
+func (t *Thread) Update(a pmem.Addr, v uint64)            {}
+func (t *Thread) Init(a pmem.Addr, v uint64)              {}
+func (t *Thread) AddModified(a pmem.Addr)                 {}
+func (t *Thread) AddModifiedRange(a pmem.Addr, n uintptr) {}
+func (t *Thread) CheckpointPrevent(mu sync.Locker)        {}
+func (t *Thread) CheckpointAllow()                        {}
+func (t *Thread) CondWait(c *sync.Cond, mu sync.Locker)   {}

@@ -1,0 +1,22 @@
+// Package pmem is a testdata stand-in for the real heap layer: same import
+// path (under testdata/src), same raw-mutator and flusher surface, no
+// behavior.
+package pmem
+
+type Addr uint64
+
+type Heap struct{}
+
+func (h *Heap) Store64(a Addr, v uint64)           {}
+func (h *Heap) StoreBytes(a Addr, b []byte)        {}
+func (h *Heap) CAS64(a Addr, old, new uint64) bool { return false }
+func (h *Heap) Add64(a Addr, delta uint64) uint64  { return 0 }
+func (h *Heap) Load64(a Addr) uint64               { return 0 }
+func (h *Heap) NewFlusher() *Flusher               { return &Flusher{} }
+
+type Flusher struct{}
+
+func (f *Flusher) CLWB(a Addr)                 {}
+func (f *Flusher) SFence()                     {}
+func (f *Flusher) Persist(a Addr)              {}
+func (f *Flusher) PersistRange(a Addr, n int)  {}

@@ -1,0 +1,19 @@
+// Package helpers provides cross-package delegation targets: the facts
+// exported here must be visible to package a through the import.
+package helpers
+
+import (
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// TrackWord registers one word with the checkpoint flush set.
+func TrackWord(t *core.Thread, a pmem.Addr) { // want `flushfact tracks=\[1\] flushes=\[\] publishes=\[\]`
+	t.AddModified(a)
+}
+
+// Durable persists the line at a.
+func Durable(f *pmem.Flusher, a pmem.Addr) { // want `flushfact tracks=\[\] flushes=\[1\] publishes=\[\]`
+	f.CLWB(a)
+	f.SFence()
+}

@@ -18,6 +18,13 @@
 // function has not been separated from it by a flush-like call
 // (Persist/Flush*/CLWB/SFence). StoreTracked is exempt — tracked stores are
 // flushed by the checkpoint protocol itself, not by local ordering.
+//
+// Calls are additionally interpreted through their flushfact summaries, so
+// delegation does not blind the scan: a call to a function that provably
+// flushes one of its arguments counts as a flush, and a call to a function
+// that provably raw-stores an argument counts as a store at the call site —
+// as a cursor publish when the argument names a cursor, as an unflushed
+// payload store otherwise.
 package persistorder
 
 import (
@@ -30,6 +37,7 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 
 	"github.com/respct/respct/internal/analysis/directive"
+	"github.com/respct/respct/internal/analysis/flushfact"
 	"github.com/respct/respct/internal/analysis/respctapi"
 )
 
@@ -43,7 +51,7 @@ read garbage.`
 var Analyzer = &analysis.Analyzer{
 	Name:     "persistorder",
 	Doc:      doc,
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, flushfact.Analyzer},
 	Run:      run,
 }
 
@@ -63,6 +71,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		return nil, nil // ordering points live in the runtime layers only
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	facts := pass.ResultOf[flushfact.Analyzer].(*flushfact.Facts)
 
 	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
 	ins.Preorder(nodeFilter, func(n ast.Node) {
@@ -76,15 +85,26 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if body == nil || respctapi.IsTestFile(pass, body.Pos()) {
 			return
 		}
-		checkBody(pass, body)
+		checkBody(pass, facts, body)
 	})
 	return nil, nil
 }
 
 // checkBody scans one function body in source order, tracking the most
 // recent raw payload store that no flush has covered yet.
-func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkBody(pass *analysis.Pass, facts *flushfact.Facts, body *ast.BlockStmt) {
 	unflushed := token.NoPos // last raw payload store not yet followed by a flush
+	cursorStore := func(call *ast.CallExpr, addr ast.Expr) {
+		if isCursorAddr(addr) {
+			if unflushed.IsValid() {
+				directive.Report(pass, call.Pos(),
+					"cursor published before its payload is flushed: the raw store at %s has no flush (Persist/Flush*/SFence) before this cursor store, so a crash can leave a durable cursor over volatile data",
+					pass.Fset.Position(unflushed))
+			}
+		} else {
+			unflushed = call.Pos()
+		}
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
 			return false // literals have their own scan
@@ -93,24 +113,37 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		if !ok {
 			return true
 		}
+		fact := facts.Of(respctapi.Callee(pass, call))
 		switch {
-		case isFlush(call):
+		case isFlush(call) || (fact != nil && fact.Flushes != 0):
+			// A callee that provably flushes an argument discharges the
+			// pending payload the same way a direct Persist does. (A helper
+			// that both flushes and publishes — persist-entry-then-advance-
+			// cursor — proved its internal ordering when it was itself
+			// analyzed, so the flush interpretation wins.)
 			unflushed = token.NoPos
 		default:
-			if _, raw := respctapi.IsRawHeapStore(pass, call); !raw {
-				break
-			}
-			if len(call.Args) == 0 {
-				break
-			}
-			if isCursorAddr(call.Args[0]) {
-				if unflushed.IsValid() {
-					directive.Report(pass, call.Pos(),
-						"cursor published before its payload is flushed: the raw store at %s has no flush (Persist/Flush*/SFence) before this cursor store, so a crash can leave a durable cursor over volatile data",
-						pass.Fset.Position(unflushed))
+			if _, raw := respctapi.IsRawHeapStore(pass, call); raw {
+				if len(call.Args) > 0 {
+					cursorStore(call, call.Args[0])
 				}
-			} else {
-				unflushed = call.Pos()
+				break
+			}
+			if fact != nil && fact.Publishes != 0 {
+				// The callee raw-stores these arguments: account for each at
+				// the call site. Arguments the callee also *tracks*
+				// (StoreTracked/Update-style helpers) stay exempt — tracked
+				// stores are flushed by the checkpoint protocol, not by local
+				// ordering.
+				for j, arg := range call.Args {
+					if j >= 64 {
+						break
+					}
+					bit := uint64(1) << uint(j)
+					if fact.Publishes&bit != 0 && fact.Tracks&bit == 0 {
+						cursorStore(call, arg)
+					}
+				}
 			}
 		}
 		return true

@@ -8,6 +8,8 @@ type Thread struct{ h *pmem.Heap }
 
 func (t *Thread) StoreTracked(a pmem.Addr, v uint64) {}
 
+func (t *Thread) AddModified(a pmem.Addr) {}
+
 func (t *Thread) flushModified() {}
 
 // goodEntryThenHeader is the canonical publish: payload, flush, cursor.
@@ -60,6 +62,62 @@ func cursorNamedLocal(h *pmem.Heap, base pmem.Addr, v uint64) {
 	ringCursor := base + 128
 	h.Store64(base, v)
 	h.Store64(ringCursor, 1) // want `cursor published before its payload is flushed`
+}
+
+// --- flushfact-driven cases: the obligations below are delegated through
+// helpers whose summaries (not their names) carry the proof. ---
+
+// makeDurable is a fact-proved flush: the name deliberately matches no
+// flush regex; only its flushfact summary (flushes ent) separates pairs.
+func makeDurable(f *pmem.Flusher, ent pmem.Addr) {
+	f.Persist(ent)
+}
+
+// writeRecord raw-stores through its parameter: callers inherit the arming
+// at the call site.
+func writeRecord(h *pmem.Heap, rec pmem.Addr, v uint64) {
+	h.Store64(rec, v)
+}
+
+// bumpCursor publishes its hdr parameter on behalf of callers.
+func bumpCursor(h *pmem.Heap, hdr pmem.Addr, v uint64) {
+	h.Store64(hdr, v)
+}
+
+// logWord both publishes and tracks its address, the StoreTracked shape:
+// the checkpoint protocol owns its durability, not local ordering.
+func logWord(t *Thread, h *pmem.Heap, a pmem.Addr, v uint64) {
+	h.Store64(a, v)
+	t.AddModified(a)
+}
+
+// factGoodFlush: makeDurable's summary discharges the pending payload even
+// though its name matches no flush pattern.
+func factGoodFlush(f *pmem.Flusher, h *pmem.Heap, entry, hdr pmem.Addr, v uint64) {
+	h.Store64(entry, v)
+	makeDurable(f, entry)
+	h.Store64(hdr, 1)
+}
+
+// factBadPublish: the cursor store hides inside bumpCursor; its publish
+// fact pins the violation to the call site.
+func factBadPublish(h *pmem.Heap, entry, hdr pmem.Addr, v uint64) {
+	h.Store64(entry, v)
+	bumpCursor(h, hdr, v) // want `cursor published before its payload is flushed`
+}
+
+// factArming: a helper that raw-stores through its parameter arms the
+// check for the caller just like an inline store.
+func factArming(h *pmem.Heap, entry, hdr pmem.Addr, v uint64) {
+	writeRecord(h, entry, v)
+	h.Store64(hdr, 1) // want `cursor published before its payload is flushed`
+}
+
+// factGoodTracked: logWord publishes AND tracks its address, so like
+// StoreTracked it neither arms nor counts as a cursor publish.
+func factGoodTracked(t *Thread, h *pmem.Heap, entry, hdr pmem.Addr, v uint64) {
+	h.Store64(entry, v)
+	logWord(t, h, hdr, v)
 }
 
 // suppressed: single-line payload+cursor in one cache line, persisted as

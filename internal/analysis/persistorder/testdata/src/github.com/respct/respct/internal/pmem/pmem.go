@@ -11,3 +11,11 @@ func (h *Heap) Load64(a Addr) uint64        { return 0 }
 func (h *Heap) EpochAddr() Addr             { return 0 }
 func (h *Heap) Persist(a Addr, n uintptr)   {}
 func (h *Heap) SFence()                     {}
+func (h *Heap) NewFlusher() *Flusher        { return &Flusher{} }
+
+type Flusher struct{}
+
+func (f *Flusher) CLWB(a Addr)                {}
+func (f *Flusher) SFence()                    {}
+func (f *Flusher) Persist(a Addr)             {}
+func (f *Flusher) PersistRange(a Addr, n int) {}

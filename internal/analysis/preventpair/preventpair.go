@@ -39,6 +39,7 @@ import (
 	"golang.org/x/tools/go/cfg"
 
 	"github.com/respct/respct/internal/analysis/directive"
+	"github.com/respct/respct/internal/analysis/flushfact"
 	"github.com/respct/respct/internal/analysis/respctapi"
 )
 
@@ -52,7 +53,7 @@ prevented state.`
 var Analyzer = &analysis.Analyzer{
 	Name:     "preventpair",
 	Doc:      doc,
-	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer, flushfact.Analyzer},
 	Run:      run,
 }
 
@@ -62,6 +63,10 @@ const (
 	evPrevent eventKind = iota
 	evAllow
 	evCondWait
+	// evNeedsPrevent is a call to a function whose flushfact summary says it
+	// reaches CondWait itself (without its own CheckpointPrevent): like
+	// CondWait, it must only be reachable in the prevented state.
+	evNeedsPrevent
 )
 
 // event is one protocol call inside a CFG block, in source order.
@@ -74,6 +79,7 @@ type event struct {
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	facts := pass.ResultOf[flushfact.Analyzer].(*flushfact.Facts)
 
 	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
 	ins.Preorder(nodeFilter, func(n ast.Node) {
@@ -88,12 +94,12 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if g == nil || body == nil {
 			return
 		}
-		checkFunc(pass, g, body)
+		checkFunc(pass, facts, g, body)
 	})
 	return nil, nil
 }
 
-func checkFunc(pass *analysis.Pass, g *cfg.CFG, body *ast.BlockStmt) {
+func checkFunc(pass *analysis.Pass, facts *flushfact.Facts, g *cfg.CFG, body *ast.BlockStmt) {
 	events := make(map[*cfg.Block][]event)
 	terminates := make(map[*cfg.Block]bool) // block unconditionally kills the goroutine
 	var allows []event
@@ -118,6 +124,12 @@ func checkFunc(pass *analysis.Pass, g *cfg.CFG, body *ast.BlockStmt) {
 						allows = append(allows, ev)
 					}
 					any = true
+				}
+				if fact := facts.Of(respctapi.Callee(pass, call)); fact != nil && fact.NeedsPrevent {
+					if key, ok := threadArgKey(pass, call); ok {
+						events[b] = append(events[b], event{evNeedsPrevent, key, call.Pos()})
+						any = true
+					}
 				}
 				if isTerminator(pass, call) {
 					terminates[b] = true
@@ -263,6 +275,13 @@ func checkCondWait(pass *analysis.Pass, g *cfg.CFG, events map[*cfg.Block][]even
 						"CondWait reached inside an open CheckpointAllow window: CondWait opens and closes its own window and must run in the prevented state")
 				}
 				cur[ev.key] = 1
+			case evNeedsPrevent:
+				if st&2 != 0 && !reported[ev.pos] {
+					reported[ev.pos] = true
+					directive.Report(pass, ev.pos,
+						"call reaches CondWait (per its flushfact summary) inside an open CheckpointAllow window: the callee must run in the prevented state")
+				}
+				cur[ev.key] = 1
 			}
 		}
 		for _, s := range b.Succs {
@@ -322,6 +341,29 @@ func receiverKey(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 		}
 	}
 	return "expr:" + types.ExprString(sel.X), true
+}
+
+// threadArgKey identifies the thread handle a NeedsPrevent callee operates
+// on: the method receiver when the call is a method on a Thread, otherwise
+// the first Thread-typed identifier argument.
+func threadArgKey(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && isThreadType(obj.Type()) {
+				return receiverKey(pass, call)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && isThreadType(obj.Type()) {
+			return "obj:" + obj.Pkg().Path() + "." + obj.Name() + "@" + pass.Fset.Position(obj.Pos()).String(), true
+		}
+	}
+	return "", false
 }
 
 // escapedThreads collects receiver keys of thread identifiers that are

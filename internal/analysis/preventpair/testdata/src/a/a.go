@@ -126,6 +126,40 @@ func suppressed(t *core.Thread, fail bool) {
 	t.CheckpointAllow()
 }
 
+// helperWaits blocks on the condition for its caller: flushfact summarises
+// it as needsPrevent, so its call sites are checked like CondWait itself.
+func helperWaits(t *core.Thread, c *sync.Cond, mu sync.Locker) {
+	t.CondWait(c, mu)
+}
+
+// factWaitInWindow reaches the waiting helper through an open allow window.
+func factWaitInWindow(t *core.Thread, c *sync.Cond, mu sync.Locker) {
+	t.CheckpointAllow()
+	helperWaits(t, c, mu) // want `call reaches CondWait \(per its flushfact summary\) inside an open CheckpointAllow window`
+	t.CheckpointPrevent(mu)
+}
+
+// factWaitPrevented calls the same helper from the default prevented state.
+func factWaitPrevented(t *core.Thread, c *sync.Cond, mu sync.Locker) {
+	helperWaits(t, c, mu)
+}
+
+// ownDiscipline establishes its own prevented state before waiting, so
+// flushfact does not mark it and its call sites stay unconstrained.
+func ownDiscipline(t *core.Thread, c *sync.Cond, mu sync.Locker) {
+	t.CheckpointPrevent(mu)
+	t.CondWait(c, mu)
+	t.CheckpointAllow()
+}
+
+// callsOwnDiscipline may run with the window open: the callee prevents for
+// itself.
+func callsOwnDiscipline(t *core.Thread, c *sync.Cond, mu sync.Locker) {
+	t.CheckpointAllow()
+	ownDiscipline(t, c, mu)
+	t.CheckpointPrevent(mu)
+}
+
 // litLeak: function literals get their own flow analysis.
 func litLeak(t *core.Thread) func(bool) {
 	return func(fail bool) {

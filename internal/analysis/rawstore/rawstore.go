@@ -11,12 +11,25 @@
 // prevent, which chaos crash soaks only catch probabilistically.
 //
 // internal/core and internal/pmem own the discipline and are exempt, as are
-// _test.go files (tests poke raw state deliberately). A raw store is also
-// accepted when the enclosing function later registers tracking with
-// AddModified/AddModifiedRange — the write-bytes-then-track-range idiom used
-// for string/byte payloads, where no word-wise StoreTracked equivalent
-// exists. Anything else needs a //respct:allow rawstore directive with a
-// justification (see internal/analysis/directive).
+// _test.go files (tests poke raw state deliberately). A raw store is
+// accepted when the enclosing function later discharges the obligation
+// itself, in either of two ways:
+//
+//   - it registers tracking with AddModified/AddModifiedRange — the
+//     write-bytes-then-track-range idiom used for string/byte payloads — or
+//     calls a function whose flushfact summary proves it tracks an argument;
+//   - it explicitly persists the stored line (Flusher.CLWB/Persist/
+//     PersistRange, or a callee whose flushfact summary proves it flushes an
+//     argument): the store is then self-durable, owning its crash
+//     consistency the way the telemetry flight ring does, and the
+//     persistorder analyzer separately proves any cursor publish in such
+//     code is ordered after its payload flush.
+//
+// Both checks are positional (the discharge must follow the store in source
+// order), because under AsyncFlush the collision guard runs at registration
+// time and must precede overwrites of pre-existing words. Anything else
+// needs a //respct:allow rawstore directive with a justification (see
+// internal/analysis/directive).
 package rawstore
 
 import (
@@ -27,20 +40,22 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 
 	"github.com/respct/respct/internal/analysis/directive"
+	"github.com/respct/respct/internal/analysis/flushfact"
 	"github.com/respct/respct/internal/analysis/respctapi"
 )
 
 const doc = `flag raw pmem.Heap mutations above internal/core
 
 Callers above core must mutate tracked NVMM through Thread.StoreTracked or
-Thread.Update, or register raw writes with AddModified/AddModifiedRange in
-the same function; otherwise the next checkpoint never flushes the write and
-recovery silently loses it.`
+Thread.Update, register raw writes with AddModified/AddModifiedRange, or
+explicitly persist them (directly or via a callee flushfact proves does so)
+in the same function; otherwise the next checkpoint never flushes the write
+and recovery silently loses it.`
 
 var Analyzer = &analysis.Analyzer{
 	Name:     "rawstore",
 	Doc:      doc,
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, flushfact.Analyzer},
 	Run:      run,
 }
 
@@ -50,6 +65,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		return nil, nil // these layers implement the discipline
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	facts := pass.ResultOf[flushfact.Analyzer].(*flushfact.Facts)
 
 	nodeFilter := []ast.Node{(*ast.CallExpr)(nil)}
 	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
@@ -61,24 +77,27 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if !ok || respctapi.IsTestFile(pass, call.Pos()) {
 			return true
 		}
-		if trackedAfter(pass, stack, call) {
+		if dischargedAfter(pass, facts, stack, call) {
 			return true
 		}
 		directive.Report(pass, call.Pos(),
-			"raw pmem.Heap.%s outside internal/core: use Thread.StoreTracked/Update, or register the write with AddModified/AddModifiedRange in this function (untracked stores are lost by recovery)",
+			"raw pmem.Heap.%s outside internal/core: use Thread.StoreTracked/Update, or register the write with AddModified/AddModifiedRange, or persist it explicitly in this function (untracked stores are lost by recovery)",
 			method)
 		return true
 	})
 	return nil, nil
 }
 
-// trackedAfter reports whether the function enclosing call also calls
-// Thread.AddModified or Thread.AddModifiedRange at a later source position:
-// the raw store is then (claimed to be) covered by explicit tracking. The
-// check is positional, not path-sensitive — registering first and storing
-// after is still flagged, because under AsyncFlush the collision guard runs
-// at registration time and must precede overwrites of pre-existing words.
-func trackedAfter(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) bool {
+// dischargedAfter reports whether the function enclosing call discharges the
+// store's durability obligation at a later source position: by registering
+// tracking (Thread.AddModified/AddModifiedRange, or a callee whose flushfact
+// summary tracks an argument) or by persisting the line itself
+// (Flusher.CLWB/Persist/PersistRange, or a callee whose summary flushes an
+// argument). The check is positional, not path-sensitive — registering first
+// and storing after is still flagged, because under AsyncFlush the collision
+// guard runs at registration time and must precede overwrites of
+// pre-existing words.
+func dischargedAfter(pass *analysis.Pass, facts *flushfact.Facts, stack []ast.Node, call *ast.CallExpr) bool {
 	var body *ast.BlockStmt
 	for i := len(stack) - 1; i >= 0; i-- {
 		switch fn := stack[i].(type) {
@@ -94,9 +113,9 @@ func trackedAfter(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) boo
 	if body == nil {
 		return false
 	}
-	tracked := false
+	discharged := false
 	ast.Inspect(body, func(n ast.Node) bool {
-		if tracked {
+		if discharged {
 			return false
 		}
 		c, ok := n.(*ast.CallExpr)
@@ -105,10 +124,22 @@ func trackedAfter(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) boo
 		}
 		if respctapi.IsThreadMethod(pass, c, "AddModified") ||
 			respctapi.IsThreadMethod(pass, c, "AddModifiedRange") {
-			tracked = true
+			discharged = true
 			return false
+		}
+		if name, ok := respctapi.FlusherMethodName(pass, c); ok {
+			if name == "CLWB" || name == "Persist" || name == "PersistRange" {
+				discharged = true
+				return false
+			}
+		}
+		if fact := facts.Of(respctapi.Callee(pass, c)); fact != nil {
+			if fact.Tracks != 0 || fact.Flushes != 0 {
+				discharged = true
+				return false
+			}
 		}
 		return true
 	})
-	return tracked
+	return discharged
 }

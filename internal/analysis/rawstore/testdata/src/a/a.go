@@ -3,6 +3,8 @@
 package a
 
 import (
+	"helpers"
+
 	"github.com/respct/respct/internal/core"
 	"github.com/respct/respct/internal/pmem"
 )
@@ -56,6 +58,47 @@ func suppressedFunc(h *pmem.Heap, a pmem.Addr) {
 
 func missingJustification(h *pmem.Heap, a pmem.Addr) {
 	h.Store64(a, 1) //respct:allow rawstore // want `needs a justification`
+}
+
+// selfPersisted persists the stored line itself (the flight-ring idiom):
+// the explicit flush discharges the finding, and persistorder owns the
+// publish ordering from there.
+func selfPersisted(f *pmem.Flusher, h *pmem.Heap, a pmem.Addr) {
+	h.Store64(a, 1)
+	f.Persist(a)
+}
+
+// selfPersistedRange discharges a byte-range store with PersistRange.
+func selfPersistedRange(f *pmem.Flusher, h *pmem.Heap, a pmem.Addr) {
+	h.StoreBytes(a, []byte("payload"))
+	f.PersistRange(a, 64)
+}
+
+// delegatedTracking registers the range through a helper: its flushfact
+// summary (tracks its pmem.Addr parameter) proves the store is covered.
+func delegatedTracking(t *core.Thread, h *pmem.Heap, a pmem.Addr) {
+	h.StoreBytes(a, []byte("payload"))
+	helpers.TrackRange(t, a, 8)
+}
+
+// delegatedPersist flushes through a helper the facts prove durable.
+func delegatedPersist(f *pmem.Flusher, h *pmem.Heap, a pmem.Addr) {
+	h.Store64(a, 1)
+	helpers.MakeDurable(f, a)
+}
+
+// unrelatedHelper calls a helper with no durability summary: the store is
+// still flagged.
+func unrelatedHelper(h *pmem.Heap, a pmem.Addr) {
+	h.Store64(a, 1) // want `raw pmem\.Heap\.Store64 outside internal/core`
+	helpers.Noop(a)
+}
+
+// flushBefore persists first and stores after: flagged, nothing made the
+// new value durable.
+func flushBefore(f *pmem.Flusher, h *pmem.Heap, a pmem.Addr) {
+	f.Persist(a)
+	h.Store64(a, 1) // want `raw pmem\.Heap\.Store64 outside internal/core`
 }
 
 // closures are scanned like named functions, including the tracked-after

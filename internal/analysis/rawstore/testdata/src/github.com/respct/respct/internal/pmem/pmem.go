@@ -12,3 +12,11 @@ func (h *Heap) CAS64(a Addr, old, new uint64) bool { return false }
 func (h *Heap) Add64(a Addr, delta uint64) uint64  { return 0 }
 func (h *Heap) Load64(a Addr) uint64               { return 0 }
 func (h *Heap) EpochAddr() Addr                    { return 0 }
+func (h *Heap) NewFlusher() *Flusher               { return &Flusher{} }
+
+type Flusher struct{}
+
+func (f *Flusher) CLWB(a Addr)                {}
+func (f *Flusher) SFence()                    {}
+func (f *Flusher) Persist(a Addr)             {}
+func (f *Flusher) PersistRange(a Addr, n int) {}

@@ -1,0 +1,23 @@
+// Package helpers provides delegation targets whose flushfact summaries the
+// rawstore cases in package a rely on. No wants here: flushfact.Debug is off
+// when rawstore's own test runs.
+package helpers
+
+import (
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// TrackRange registers the written range with the checkpoint flush set.
+func TrackRange(t *core.Thread, a pmem.Addr, n uintptr) {
+	t.AddModifiedRange(a, n)
+}
+
+// MakeDurable persists the line at a.
+func MakeDurable(f *pmem.Flusher, a pmem.Addr) {
+	f.CLWB(a)
+	f.SFence()
+}
+
+// Noop does nothing durability-relevant to a.
+func Noop(a pmem.Addr) {}

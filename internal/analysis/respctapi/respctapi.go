@@ -69,6 +69,16 @@ func IsRawHeapStore(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	return fn.Name(), true
 }
 
+// FlusherMethodName returns the method name if call invokes any method on
+// pmem.Flusher (CLWB, SFence, Persist, PersistRange).
+func FlusherMethodName(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := Callee(pass, call)
+	if fn == nil || !isMethodOf(fn, PmemPath, "Flusher") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
 // IsThreadMethod reports whether call invokes the named method on
 // core.Thread.
 func IsThreadMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {

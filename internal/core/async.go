@@ -131,6 +131,13 @@ func (rt *Runtime) cutAsync(ending uint64, start, gateDone time.Time) Checkpoint
 
 	rt.drainEpochN.Store(ending)
 	rt.epochCache.Store(ending + 1)
+	if rt.san != nil {
+		// Under the parked world, before the release: every store the
+		// workers issue after the cut belongs to the new epoch, and the
+		// drain's commit gate must not mistake it for an obligation of the
+		// epoch being drained.
+		rt.san.AdvanceEpoch(ending + 1)
+	}
 	rt.drain.Store(job)
 	rt.drainLive.Store(true)
 	rt.timer.Store(false) // release the workers
@@ -213,7 +220,9 @@ func (j *drainJob) run() {
 	}
 
 	// Commit: every cut-N line is in NVMM (drained, collision-flushed, or
-	// dead), so the durable cut may advance.
+	// dead), so the durable cut may advance. The sanitizer audits the claim
+	// first: any cut-N line still dirty here is a flush the drain lost.
+	rt.sanBeforeCommit(j.ending, j.dead)
 	h := rt.heap
 	newEpoch := j.ending + 1
 	h.Annotate("epoch-commit", newEpoch)

@@ -117,10 +117,13 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 	// first. Replay and the per-cell rollback are mutually idempotent: a
 	// replayed cell holds record = backup with the failed epoch's tag, which
 	// later rollback passes rewrite to the same value.
-	if drained {
+	replayLog := func() error {
+		if !drained {
+			return nil
+		}
 		cnt := h.Load64(arena.collHdrAddr() + 8)
 		if cnt > collLogEntries {
-			return nil, nil, fmt.Errorf("core: corrupt collision log (count %d)", cnt)
+			return fmt.Errorf("core: corrupt collision log (count %d)", cnt)
 		}
 		for i := 0; i < int(cnt); i++ {
 			ent := arena.collEntryAddr(i)
@@ -128,7 +131,7 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 			val := h.Load64(ent + 8)
 			if a%pmem.WordSize != 0 || int64(a) <= 0 || int64(a)+3*pmem.WordSize > h.Size() ||
 				uint64(a)%pmem.LineSize > pmem.LineSize-3*pmem.WordSize {
-				return nil, nil, fmt.Errorf("core: corrupt collision log entry %d (addr %#x)", i, uint64(a))
+				return fmt.Errorf("core: corrupt collision log entry %d (addr %#x)", i, uint64(a))
 			}
 			h.Store64(a+cellRecordOff, val)
 			h.Store64(a+cellBackupOff, val)
@@ -138,6 +141,7 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 		}
 		rep.CollisionsApplied = int(cnt)
 		f.SFence()
+		return nil
 	}
 
 	// Walk the carved region block by block. Headers of every reachable
@@ -145,22 +149,40 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 	// magic and layout are trustworthy after the layout cell's own
 	// rollback.
 	var blocks []pmem.Addr
-	cur := arena.dataBase
-	end := pmem.Addr(h.Load64(arena.bump.Addr() + cellRecordOff))
-	for cur < end {
-		if got := h.Load64(cur + hdrMagicOff); got != blockMagic {
-			return nil, nil, fmt.Errorf("core: corrupt block header at %#x (magic %#x)", uint64(cur), got)
+	walkBlocks := func() error {
+		cur := arena.dataBase
+		end := pmem.Addr(h.Load64(arena.bump.Addr() + cellRecordOff))
+		for cur < end {
+			if got := h.Load64(cur + hdrMagicOff); got != blockMagic {
+				return fmt.Errorf("core: corrupt block header at %#x (magic %#x)", uint64(cur), got)
+			}
+			rollback(cur + hdrLayoutOff)
+			class, _, _ := unpackLayout(h.Load64(cur + hdrLayoutOff + cellRecordOff))
+			if class < 0 || class >= numClasses {
+				return fmt.Errorf("core: corrupt block layout at %#x (class %d)", uint64(cur), class)
+			}
+			blocks = append(blocks, cur)
+			cur += pmem.Addr(classSize(class))
 		}
-		rollback(cur + hdrLayoutOff)
-		class, _, _ := unpackLayout(h.Load64(cur + hdrLayoutOff + cellRecordOff))
-		if class < 0 || class >= numClasses {
-			return nil, nil, fmt.Errorf("core: corrupt block layout at %#x (class %d)", uint64(cur), class)
-		}
-		blocks = append(blocks, cur)
-		cur += pmem.Addr(classSize(class))
+		rep.BlocksScanned = len(blocks)
+		f.SFence()
+		return nil
 	}
-	rep.BlocksScanned = len(blocks)
-	f.SFence()
+
+	// Replay strictly before the walk: the log holds the bump cursor's last
+	// durable-cut value, and the rolled-back (not-yet-durable) bump would
+	// extend the walk into blocks whose headers never reached NVMM.
+	// faultWalkBeforeReplay re-seeds the historical inversion of this order
+	// for the regression fixture.
+	steps := []func() error{replayLog, walkBlocks}
+	if faultWalkBeforeReplay {
+		steps[0], steps[1] = steps[1], steps[0]
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, nil, err
+		}
+	}
 
 	scanBlock := func(block pmem.Addr, fl *pmem.Flusher, matched *[]pmem.Addr) (scanned int) {
 		_, cells, _ := unpackLayout(h.Load64(block + hdrLayoutOff + cellRecordOff))
@@ -244,6 +266,10 @@ func Recover(h *pmem.Heap, cfg Config, parallelism int) (*Runtime, *RecoveryRepo
 	// the handles are handed out (execution resumes in the failed epoch, so
 	// nothing changes the shared counters between here and the first store).
 	rt.refreshThreadCaches()
+	// Attach (or replace the crashed runtime's) sanitizer last, replaying
+	// the tracked state of every rolled-back cell: the resumed epoch owes
+	// them a flush, and rule R1 holds it to that.
+	rt.attachSanitizer(failedEpoch, true)
 
 	rep.Duration = time.Since(start)
 	var drainedAux uint64

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/psan"
 	"github.com/respct/respct/internal/telemetry"
 )
 
@@ -48,6 +49,15 @@ type Config struct {
 	// It changes nothing semantically — SFence coalesces duplicates —
 	// but shows the cost of naive tracking.
 	DisableTracking bool
+
+	// Sanitize attaches the runtime persistency sanitizer (internal/psan):
+	// a shadow heap that checks the durability state machine at every
+	// store, flush and commit and reports protocol violations at the
+	// violating instruction. Diagnostic tool — it serialises every store
+	// through one mutex. Ignored under SkipFlush (that configuration elides
+	// the flush by design). The RESPCT_SANITIZE environment variable can
+	// arm it without the flag; see Runtime.Sanitizer.
+	Sanitize bool
 
 	// Metrics, when non-nil, receives the runtime's telemetry: checkpoint
 	// pause/gate/epoch-length/lines/drain histograms plus pull-style series
@@ -177,6 +187,11 @@ type Runtime struct {
 	statCollLogged atomic.Uint64
 	statCollPeak   atomic.Uint64 // collision-log occupancy high-water mark
 
+	// san is the attached persistency sanitizer, nil unless Config.Sanitize
+	// or RESPCT_SANITIZE armed it (see sanitize.go). Written once at
+	// construction, before worker goroutines exist.
+	san *psan.Sanitizer
+
 	// flight is the persistent event ring carved from the arena metadata;
 	// non-nil once NewRuntime/Recover complete. Record calls happen at
 	// checkpoint cadence only.
@@ -298,6 +313,7 @@ func NewRuntime(h *pmem.Heap, cfg Config) (*Runtime, error) {
 	rt.sysFlusher.Persist(h.EpochAddr())
 	arena.persistFormatMarker(rt.sysFlusher)
 	rt.refreshThreadCaches()
+	rt.attachSanitizer(2, false)
 	rt.flight.Record(telemetry.FlightFormat, 2, uint64(cfg.Threads), 0)
 	return rt, nil
 }
@@ -319,10 +335,14 @@ func (rt *Runtime) finishInit() {
 		// Addresses tracked before this point — recovery's rolled-back and
 		// replayed cells in particular — predate the dirty bitmaps. Mark
 		// them now, or the first async drain's test-and-clear would skip
-		// their lines and commit an epoch that never flushed them.
-		for _, t := range rt.all {
-			for _, a := range t.toFlush {
-				rt.markDirty(a)
+		// their lines and commit an epoch that never flushed them
+		// (faultSkipReplayMarks re-seeds exactly that bug for the sanitizer
+		// regression fixture).
+		if !faultSkipReplayMarks {
+			for _, t := range rt.all {
+				for _, a := range t.toFlush {
+					rt.markDirty(a)
+				}
 			}
 		}
 	}
@@ -605,7 +625,9 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 		// the exact ordering bug persistorder exists to prevent. A crash
 		// between this commit and the flush below recovers to a state that
 		// was never certified; the crashexplore durability checker must
-		// catch it.
+		// catch it — and the sanitizer's commit gate must flag it with no
+		// crash at all.
+		rt.sanBeforeCommit(ending, rt.deadRanges())
 		rt.heap.Annotate("epoch-commit", newEpoch)
 		//respct:allow persistorder — deliberate commit-before-flush fault injection for durability-checker tests
 		rt.heap.Store64(rt.heap.EpochAddr(), newEpoch)
@@ -628,13 +650,20 @@ func (rt *Runtime) Checkpoint() CheckpointInfo {
 		// (flushModified just fenced), so the epoch counter may now
 		// advance and persist. This store-then-persist pair is the commit
 		// point the whole recovery contract hangs off — nothing of epoch
-		// `ending` may be claimed durable before it.
+		// `ending` may be claimed durable before it. The sanitizer audits
+		// exactly that claim first.
+		rt.sanBeforeCommit(ending, rt.deadScratch)
 		rt.heap.Annotate("epoch-commit", newEpoch)
 		rt.heap.Store64(rt.heap.EpochAddr(), newEpoch)
 		rt.sysFlusher.Persist(rt.heap.EpochAddr())
 	}
 	rt.epochCache.Store(newEpoch)
 	rt.durableEpoch.Store(newEpoch)
+	if rt.san != nil {
+		// Stores from here on — the deferred frees below included — belong
+		// to the new epoch.
+		rt.san.AdvanceEpoch(newEpoch)
+	}
 
 	// Deferred frees become visible in the new epoch, so a crash rolls
 	// them back and a block can never be recycled in the epoch it was

@@ -92,6 +92,11 @@ func (t *Thread) resetTracking() {
 // same exclusion that protected the write. Re-registrations of a recently
 // tracked line are write-combined away (see the file comment).
 func (t *Thread) AddModified(a pmem.Addr) {
+	if s := t.rt.san; s != nil {
+		// Before the write-combining check: the window rule must see every
+		// registration, combined away or not.
+		t.sanTrack(s, a)
+	}
 	if t.dedup && t.seenLine(uint64(a)/pmem.LineSize) {
 		return
 	}
@@ -116,6 +121,11 @@ func (t *Thread) AddModifiedRange(a pmem.Addr, n int) {
 	}
 	first := pmem.LineOf(a)
 	last := pmem.LineOf(a + pmem.Addr(n) - 1)
+	if s := t.rt.san; s != nil {
+		for line := first; line <= last; line++ {
+			t.sanTrack(s, pmem.LineAddr(line))
+		}
+	}
 	async := t.rt.asyncOn
 	for line := first; line <= last; line++ {
 		la := pmem.LineAddr(line)

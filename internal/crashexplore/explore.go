@@ -27,6 +27,15 @@ type Options struct {
 	// ReproDir, when non-empty, receives a minimized repro file for the
 	// earliest failing crash point.
 	ReproDir string
+
+	// Sanitize attaches the runtime persistency sanitizer (internal/psan)
+	// to the reference run. Findings short-circuit the exploration: a
+	// workload that breaks flush discipline on its straight-line path will
+	// fail crash points for the same root cause, so the sanitizer report —
+	// which names the violating store — is the better diagnostic. The
+	// crash-point re-executions stay unsanitized (the sanitizer is a pure
+	// observer, so the reference trace is unchanged either way).
+	Sanitize bool
 }
 
 // Failure is one crash point whose recovery broke the durability contract.
@@ -64,6 +73,12 @@ type Report struct {
 	Failures  []Failure
 	ReproPath string
 	Elapsed   time.Duration
+
+	// Sanitized records that the reference run carried the persistency
+	// sanitizer; SanFindings holds its findings (exploration stops at the
+	// reference run when any exist).
+	Sanitized   bool
+	SanFindings []string
 }
 
 // Explore records a reference trace for w, crashes it at every candidate
@@ -73,12 +88,20 @@ type Report struct {
 // workload); durability violations are reported in Report.Failures.
 func Explore(w Workload, opt Options) (*Report, error) {
 	start := time.Now()
-	ref, _, err := runOnce(w, opt.Actions, -1)
+	ref, refRun, err := runOnce(w, opt.Actions, -1, opt.Sanitize)
 	if err != nil {
 		return nil, fmt.Errorf("crashexplore: reference run: %w", err)
 	}
 	events := ref.Events()
-	rep := &Report{Workload: w.Name(), Events: len(events)}
+	rep := &Report{Workload: w.Name(), Events: len(events), Sanitized: opt.Sanitize}
+	if opt.Sanitize {
+		if rep.SanFindings = refRun.SanFindings(); len(rep.SanFindings) > 0 {
+			// The straight-line run already broke the protocol; crash-point
+			// exploration would only rediscover the same bug less precisely.
+			rep.Elapsed = time.Since(start)
+			return rep, nil
+		}
+	}
 	var candidates []uint64
 	for _, e := range events {
 		if e.Kind == pmem.EvWriteBack {
@@ -99,7 +122,7 @@ func Explore(w Workload, opt Options) (*Report, error) {
 
 	seen := make(map[uint64]bool) // persistent-image hashes already checked
 	for _, k := range points {
-		rec2, run2, err := runOnce(w, opt.Actions, int64(k))
+		rec2, run2, err := runOnce(w, opt.Actions, int64(k), false)
 		if err != nil {
 			return nil, fmt.Errorf("crashexplore: crash point %d: %w", k, err)
 		}
@@ -136,8 +159,9 @@ func Explore(w Workload, opt Options) (*Report, error) {
 
 // runOnce executes w with actions scripted and, when crashSeq >= 0, every
 // heap crashed immediately after trace event crashSeq. Tracers are detached
-// before returning so recovery runs untraced.
-func runOnce(w Workload, actions []pmem.Action, crashSeq int64) (*pmem.Recorder, Run, error) {
+// before returning so recovery runs untraced. sanitize arms the persistency
+// sanitizer on the workload's runtimes.
+func runOnce(w Workload, actions []pmem.Action, crashSeq int64, sanitize bool) (*pmem.Recorder, Run, error) {
 	rec := pmem.NewRecorder()
 	if crashSeq >= 0 {
 		// Registered before the script so the crash fires first when both
@@ -146,7 +170,7 @@ func runOnce(w Workload, actions []pmem.Action, crashSeq int64) (*pmem.Recorder,
 		rec.CrashAllAt(uint64(crashSeq))
 	}
 	rec.Script(actions)
-	run, err := w.Setup(rec)
+	run, err := w.Setup(rec, sanitize)
 	if err != nil {
 		return nil, nil, err
 	}

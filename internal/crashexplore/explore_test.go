@@ -103,7 +103,7 @@ func TestAsyncTraceCoversCollisions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, _, err := runOnce(w, nil, -1)
+	rec, _, err := runOnce(w, nil, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,11 +125,11 @@ func TestTraceIsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec1, _, err := runOnce(w, nil, -1)
+	rec1, _, err := runOnce(w, nil, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec2, _, err := runOnce(w, nil, -1)
+	rec2, _, err := runOnce(w, nil, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestScriptedEvictionsStillDurable(t *testing.T) {
 	// Actions fire at trace positions, so derive them from a reference
 	// trace: an evict-all right after every changed write-back hits each
 	// flush window while later lines of the same batch are still dirty.
-	rec, _, err := runOnce(w, nil, -1)
+	rec, _, err := runOnce(w, nil, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,5 +307,62 @@ func TestLookup(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("Names() = %v, missing map-tiny", names)
+	}
+}
+
+// A sanitized exploration of a clean workload must behave exactly like an
+// unsanitized one — the sanitizer is a pure observer, so the reference trace
+// (and therefore the crash-point space) is unchanged — and report no
+// findings.
+func TestExploreSanitizedCleanWorkload(t *testing.T) {
+	w, err := Lookup("map-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(w, Options{Budget: 10, Sanitize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sanitized {
+		t.Fatal("report does not record the sanitized reference run")
+	}
+	if len(rep.SanFindings) != 0 {
+		t.Fatalf("clean workload produced sanitizer findings: %v", rep.SanFindings)
+	}
+	if rep.Explored == 0 {
+		t.Fatal("clean sanitized run skipped crash-point exploration")
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("crash point %d: %s", f.Seq, f.Err)
+	}
+}
+
+// The seeded commit-before-flush workload must trip the sanitizer on its
+// straight-line reference run, and the findings must short-circuit the
+// crash-point loop — the sanitizer names the violating store, which the
+// image-diff checker cannot.
+func TestExploreSanitizedBadCommit(t *testing.T) {
+	w, err := Lookup("map-sync-badcommit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explore(w, Options{Sanitize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SanFindings) == 0 {
+		t.Fatal("bad-commit workload produced no sanitizer findings")
+	}
+	found := false
+	for _, f := range rep.SanFindings {
+		if strings.Contains(f, "commit-unflushed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("findings name no commit-unflushed violation: %v", rep.SanFindings)
+	}
+	if rep.Explored != 0 {
+		t.Fatalf("explored %d crash points despite sanitizer findings", rep.Explored)
 	}
 }

@@ -49,9 +49,9 @@ func (w *kvFramesWorkload) frameParams() frame.Params {
 	return frame.Params{FrameBytes: 4 << 10, Workers: 2}
 }
 
-func (w *kvFramesWorkload) Setup(rec *pmem.Recorder) (Run, error) {
+func (w *kvFramesWorkload) Setup(rec *pmem.Recorder, sanitize bool) (Run, error) {
 	h := explorerHeap()
-	rt, err := core.NewRuntime(h, explorerCoreConfig(false))
+	rt, err := core.NewRuntime(h, explorerCoreConfig(false, sanitize))
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +117,8 @@ func (r *kvFramesRun) Execute() error {
 
 func (r *kvFramesRun) Certified(int) Certified { return r.certified }
 
+func (r *kvFramesRun) SanFindings() []string { return r.rt.SanFindings() }
+
 // Recover restores the heap from the latest certified frame chain and runs
 // the standard recovery pass over the restored image — never touching the
 // crashed heap, exactly like a reboot onto the snapshot store.
@@ -129,7 +131,7 @@ func (r *kvFramesRun) Recover() ([]Recovered, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt2, rep, err := core.Recover(h2, explorerCoreConfig(false), 1)
+	rt2, rep, err := core.Recover(h2, explorerCoreConfig(false, false), 1)
 	if err != nil {
 		return nil, err
 	}

@@ -14,7 +14,7 @@ func TestKVFramesFallsBackToPreviousChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, run, err := runOnce(w, nil, -1)
+	_, run, err := runOnce(w, nil, -1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -106,7 +106,7 @@ func Replay(r *Repro) (*ReplayResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec, run, err := runOnce(w, r.Actions, int64(r.CrashSeq))
+	rec, run, err := runOnce(w, r.Actions, int64(r.CrashSeq), false)
 	if err != nil {
 		return nil, fmt.Errorf("crashexplore: replay: %w", err)
 	}

@@ -48,8 +48,10 @@ type Workload interface {
 
 	// Setup builds the workload and attaches its heaps to rec in a fixed
 	// order (heap index i in the trace == element i of Run.Recover's
-	// result and the argument to Run.Certified).
-	Setup(rec *pmem.Recorder) (Run, error)
+	// result and the argument to Run.Certified). sanitize attaches the
+	// runtime persistency sanitizer (collect mode) to every runtime the
+	// workload builds.
+	Setup(rec *pmem.Recorder, sanitize bool) (Run, error)
 }
 
 // Run is one instantiation of a workload.
@@ -66,6 +68,10 @@ type Run interface {
 	// back. It must use recovery parallelism 1 so replays stay
 	// deterministic.
 	Recover() ([]Recovered, error)
+
+	// SanFindings reports the persistency sanitizer's findings across the
+	// run's runtimes; nil when the run was not sanitized or stayed clean.
+	SanFindings() []string
 }
 
 // builders is the workload registry. Every entry is deterministic: same
@@ -133,9 +139,10 @@ func Names() []string {
 const workloadHeapBytes = 8 << 20
 
 // explorerCoreConfig is the deterministic runtime shape every single-heap
-// workload uses: one worker, serial flushing, no penalties.
-func explorerCoreConfig(async bool) core.Config {
-	return core.Config{Threads: 1, AsyncFlush: async, SerialFlush: true}
+// workload uses: one worker, serial flushing, no penalties. sanitize
+// attaches the persistency sanitizer in collect mode.
+func explorerCoreConfig(async, sanitize bool) core.Config {
+	return core.Config{Threads: 1, AsyncFlush: async, SerialFlush: true, Sanitize: sanitize}
 }
 
 func explorerHeap() *pmem.Heap {
@@ -168,9 +175,9 @@ type mapWorkload struct {
 
 func (w *mapWorkload) Name() string { return w.name }
 
-func (w *mapWorkload) Setup(rec *pmem.Recorder) (Run, error) {
+func (w *mapWorkload) Setup(rec *pmem.Recorder, sanitize bool) (Run, error) {
 	h := explorerHeap()
-	rt, err := core.NewRuntime(h, explorerCoreConfig(w.async))
+	rt, err := core.NewRuntime(h, explorerCoreConfig(w.async, sanitize))
 	if err != nil {
 		return nil, err
 	}
@@ -250,8 +257,10 @@ func (r *mapRun) Execute() error {
 
 func (r *mapRun) Certified(int) Certified { return r.certified }
 
+func (r *mapRun) SanFindings() []string { return r.rt.SanFindings() }
+
 func (r *mapRun) Recover() ([]Recovered, error) {
-	rt2, rep, err := core.Recover(r.h, explorerCoreConfig(r.w.async), 1)
+	rt2, rep, err := core.Recover(r.h, explorerCoreConfig(r.w.async, false), 1)
 	if err != nil {
 		return nil, err
 	}
@@ -275,9 +284,9 @@ type kvWorkload struct {
 
 func (w *kvWorkload) Name() string { return w.name }
 
-func (w *kvWorkload) Setup(rec *pmem.Recorder) (Run, error) {
+func (w *kvWorkload) Setup(rec *pmem.Recorder, sanitize bool) (Run, error) {
 	h := explorerHeap()
-	rt, err := core.NewRuntime(h, explorerCoreConfig(w.async))
+	rt, err := core.NewRuntime(h, explorerCoreConfig(w.async, sanitize))
 	if err != nil {
 		return nil, err
 	}
@@ -346,8 +355,10 @@ func (r *kvRun) Execute() error {
 
 func (r *kvRun) Certified(int) Certified { return r.certified }
 
+func (r *kvRun) SanFindings() []string { return r.rt.SanFindings() }
+
 func (r *kvRun) Recover() ([]Recovered, error) {
-	rt2, rep, err := core.Recover(r.h, explorerCoreConfig(r.w.async), 1)
+	rt2, rep, err := core.Recover(r.h, explorerCoreConfig(r.w.async, false), 1)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +383,7 @@ type shardWorkload struct {
 
 func (w *shardWorkload) Name() string { return w.name }
 
-func (w *shardWorkload) shardConfig() shard.Config {
+func (w *shardWorkload) shardConfig(sanitize bool) shard.Config {
 	return shard.Config{
 		Shards:              2,
 		Workers:             1,
@@ -381,12 +392,13 @@ func (w *shardWorkload) shardConfig() shard.Config {
 		Chaos:               true,
 		Seed:                1,
 		SerialFlush:         true,
+		Sanitize:            sanitize,
 		RecoveryParallelism: 1,
 	}
 }
 
-func (w *shardWorkload) Setup(rec *pmem.Recorder) (Run, error) {
-	pool, err := shard.NewPool(w.shardConfig())
+func (w *shardWorkload) Setup(rec *pmem.Recorder, sanitize bool) (Run, error) {
+	pool, err := shard.NewPool(w.shardConfig(sanitize))
 	if err != nil {
 		return nil, err
 	}
@@ -435,12 +447,22 @@ func (r *shardRun) Execute() error {
 
 func (r *shardRun) Certified(i int) Certified { return r.certified[i] }
 
+func (r *shardRun) SanFindings() []string {
+	var out []string
+	for i := 0; i < r.pool.NumShards(); i++ {
+		for _, f := range r.pool.Shard(i).RT.SanFindings() {
+			out = append(out, fmt.Sprintf("shard %d: %s", i, f))
+		}
+	}
+	return out
+}
+
 func (r *shardRun) Recover() ([]Recovered, error) {
 	heaps := make([]*pmem.Heap, r.pool.NumShards())
 	for i := range heaps {
 		heaps[i] = r.pool.Shard(i).Heap
 	}
-	p2, rep, err := shard.Recover(r.w.shardConfig(), heaps)
+	p2, rep, err := shard.Recover(r.w.shardConfig(false), heaps)
 	if err != nil {
 		return nil, err
 	}
@@ -475,9 +497,9 @@ type kvBatchWorkload struct {
 
 func (w *kvBatchWorkload) Name() string { return w.name }
 
-func (w *kvBatchWorkload) Setup(rec *pmem.Recorder) (Run, error) {
+func (w *kvBatchWorkload) Setup(rec *pmem.Recorder, sanitize bool) (Run, error) {
 	h := explorerHeap()
-	rt, err := core.NewRuntime(h, explorerCoreConfig(w.async))
+	rt, err := core.NewRuntime(h, explorerCoreConfig(w.async, sanitize))
 	if err != nil {
 		return nil, err
 	}
@@ -570,8 +592,10 @@ func (r *kvBatchRun) Execute() error {
 
 func (r *kvBatchRun) Certified(int) Certified { return r.certified }
 
+func (r *kvBatchRun) SanFindings() []string { return r.rt.SanFindings() }
+
 func (r *kvBatchRun) Recover() ([]Recovered, error) {
-	rt2, rep, err := core.Recover(r.h, explorerCoreConfig(r.w.async), 1)
+	rt2, rep, err := core.Recover(r.h, explorerCoreConfig(r.w.async, false), 1)
 	if err != nil {
 		return nil, err
 	}

@@ -25,7 +25,9 @@ func (h *Heap) NewFlusher() *Flusher {
 // persistent image only after the next SFence. The line may also reach the
 // persistent image earlier (eviction can always happen first).
 func (f *Flusher) CLWB(a Addr) {
-	f.pending = append(f.pending, int(a/LineSize))
+	line := int(a / LineSize)
+	f.pending = append(f.pending, line)
+	f.h.sanQueue(line)
 }
 
 // SFence completes every write-back queued by this Flusher, charging the
@@ -90,6 +92,7 @@ func (f *Flusher) PersistRange(a Addr, n int) {
 	last := int((a + Addr(n) - 1) / LineSize)
 	for line := first; line <= last; line++ {
 		f.pending = append(f.pending, line)
+		f.h.sanQueue(line)
 	}
 	f.SFence()
 }

@@ -151,6 +151,11 @@ type Heap struct {
 	// snapshots harvest (see image.go). Nil when tracking is off; the only
 	// hot-path cost is one atomic pointer load per line write-back.
 	churn atomic.Pointer[churnMap]
+
+	// san, when non-nil, is the attached persistency sanitizer (see
+	// sanitize.go and internal/psan). Nil on every hot path costs one
+	// atomic pointer load per store/queue/write-back.
+	san atomic.Pointer[sanState]
 }
 
 //respct:linefit
@@ -267,10 +272,12 @@ func (h *Heap) Store64(a Addr, v uint64) {
 	line := i / WordsPerLine
 	if h.cfg.Chaos {
 		h.storeChaos(i, line, v)
+		h.sanStore(a)
 		return
 	}
 	atomic.StoreUint64(&h.volatile[i], v)
 	h.markLine(line)
+	h.sanStore(a)
 }
 
 // markLine sets the line's dirty hint. Hot lines are stored over and over
@@ -309,11 +316,15 @@ func (h *Heap) CAS64(a Addr, old, new uint64) bool {
 			atomic.StoreUint32(&h.dirty[line], 1)
 		}
 		mu.Unlock()
+		if ok {
+			h.sanStore(a)
+		}
 		return ok
 	}
 	ok := atomic.CompareAndSwapUint64(&h.volatile[i], old, new)
 	if ok {
 		h.markLine(line)
+		h.sanStore(a)
 	}
 	return ok
 }
@@ -331,10 +342,12 @@ func (h *Heap) Add64(a Addr, delta uint64) uint64 {
 		v := atomic.AddUint64(&h.volatile[i], delta)
 		atomic.StoreUint32(&h.dirty[line], 1)
 		mu.Unlock()
+		h.sanStore(a)
 		return v
 	}
 	v := atomic.AddUint64(&h.volatile[i], delta)
 	h.markLine(line)
+	h.sanStore(a)
 	return v
 }
 
@@ -480,6 +493,7 @@ func (h *Heap) writeBackLine(line int, cause WBCause) {
 		// changed one.
 		c.mark(line)
 	}
+	h.sanWriteBack(line, cause)
 	if traced {
 		h.traceWriteBack(line, cause, changed)
 	}

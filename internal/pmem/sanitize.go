@@ -1,0 +1,60 @@
+package pmem
+
+// LineSanitizer observes the three event kinds a persistency sanitizer needs
+// from the heap: stores (any word mutation of the volatile image), queueing
+// (a line entering a Flusher's pending set), and write-back (a line reaching
+// the persistent image, with its cause). The shadow state machine itself
+// lives in internal/psan; this interface keeps the dependency pointing
+// upward — pmem knows only that someone wants the events.
+//
+// Callbacks may fire from any goroutine, including concurrently; the
+// implementation serialises internally. They fire after the heap's own
+// bookkeeping for the event (the store is already visible, the write-back
+// already copied), outside the chaos-mode line locks.
+type LineSanitizer interface {
+	// SanStore observes a completed word store (Store64, successful CAS64,
+	// Add64, and the word loops of StoreBytes/StoreString).
+	SanStore(a Addr)
+	// SanQueue observes a line entering a Flusher's pending set (CLWB or
+	// PersistRange).
+	SanQueue(line int)
+	// SanWriteBack observes a line write-back to the persistent image and
+	// its cause (flush/fence, eviction, or the eADR battery flush).
+	SanWriteBack(line int, cause WBCause)
+}
+
+// sanState boxes the interface so the hot-path check is one atomic pointer
+// load, the same shape as the tracer and churn hooks.
+type sanState struct{ s LineSanitizer }
+
+// SetSanitizer attaches (or, with nil, detaches) a sanitizer. The heap holds
+// at most one; attaching replaces the previous one. Callers attach before
+// handing the heap to worker goroutines.
+func (h *Heap) SetSanitizer(s LineSanitizer) {
+	if s == nil {
+		h.san.Store(nil)
+		return
+	}
+	h.san.Store(&sanState{s: s})
+}
+
+// Sanitized reports whether a sanitizer is attached.
+func (h *Heap) Sanitized() bool { return h.san.Load() != nil }
+
+func (h *Heap) sanStore(a Addr) {
+	if st := h.san.Load(); st != nil {
+		st.s.SanStore(a)
+	}
+}
+
+func (h *Heap) sanQueue(line int) {
+	if st := h.san.Load(); st != nil {
+		st.s.SanQueue(line)
+	}
+}
+
+func (h *Heap) sanWriteBack(line int, cause WBCause) {
+	if st := h.san.Load(); st != nil {
+		st.s.SanWriteBack(line, cause)
+	}
+}

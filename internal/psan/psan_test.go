@@ -1,0 +1,187 @@
+package psan_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+	"github.com/respct/respct/internal/psan"
+)
+
+// below resolves the source line immediately after the caller's, in the
+// sanitizer's site format. Put the marker on the line above the event under
+// test and the captured site must match exactly.
+func below() string {
+	_, f, l, _ := runtime.Caller(1)
+	return fmt.Sprintf("%s:%d", filepath.Base(f), l+1)
+}
+
+func newSanitizedHeap(t *testing.T) (*pmem.Heap, *psan.Sanitizer) {
+	t.Helper()
+	h := pmem.New(pmem.Config{Size: 1 << 20})
+	s := psan.New(h, psan.ModeCollect)
+	h.SetSanitizer(s)
+	s.SetPhase(psan.PhaseRun)
+	return h, s
+}
+
+func TestCommitUnflushedSites(t *testing.T) {
+	h, s := newSanitizedHeap(t)
+	s.AdvanceEpoch(5)
+	a := h.DataStart()
+
+	wantStore := below()
+	h.Store64(a, 2)
+	s.NoteTracked(a)
+
+	wantCommit := below()
+	s.CheckCommit(5)
+
+	vs := s.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want exactly one", vs)
+	}
+	v := vs[0]
+	if v.Rule != psan.RuleCommitUnflushed {
+		t.Fatalf("rule = %v, want commit-unflushed", v.Rule)
+	}
+	if v.Epoch != 5 {
+		t.Fatalf("epoch = %d, want 5", v.Epoch)
+	}
+	if v.Site != wantCommit {
+		t.Fatalf("site = %q, want the CheckCommit call at %q", v.Site, wantCommit)
+	}
+	if v.StoreSite != wantStore {
+		t.Fatalf("store site = %q, want the dirtying store at %q", v.StoreSite, wantStore)
+	}
+
+	// Flushed and fenced, the same commit is clean.
+	f := h.NewFlusher()
+	f.CLWB(a)
+	f.SFence()
+	s.CheckCommit(5)
+	if got := len(s.Violations()); got != 1 {
+		t.Fatalf("violations after a proper flush = %d, want still 1", got)
+	}
+}
+
+func TestUntrackedFlushSites(t *testing.T) {
+	h, s := newSanitizedHeap(t)
+	s.AdvanceEpoch(3)
+	a := h.DataStart()
+
+	wantStore := below()
+	h.Store64(a, 7)
+	f := h.NewFlusher()
+	wantFlush := below()
+	f.CLWB(a)
+
+	vs := s.Violations()
+	if len(vs) != 1 || vs[0].Rule != psan.RuleUntrackedFlush {
+		t.Fatalf("violations = %v, want one untracked-flush", vs)
+	}
+	if vs[0].Site != wantFlush || vs[0].StoreSite != wantStore {
+		t.Fatalf("sites = (%q stored %q), want (%q stored %q)",
+			vs[0].Site, vs[0].StoreSite, wantFlush, wantStore)
+	}
+
+	// An exempt manual-persistence region takes the same sequence silently.
+	b := a + 4*pmem.LineSize
+	s.ExemptRange(b, pmem.LineSize)
+	h.Store64(b, 9)
+	f.CLWB(b)
+	f.SFence()
+	if got := len(s.Violations()); got != 1 {
+		t.Fatalf("violations after exempt flush = %d, want still 1", got)
+	}
+}
+
+func TestPublishBeforePayloadUnflushed(t *testing.T) {
+	h, s := newSanitizedHeap(t)
+	s.AdvanceEpoch(4)
+	cursorWord := h.DataStart()
+	payload := h.DataStart() + pmem.LineSize
+	s.RegisterCursor(cursorWord, payload, 2*pmem.LineSize)
+
+	wantStore := below()
+	h.Store64(payload+8, 11)
+	wantPub := below()
+	h.Store64(cursorWord, 1)
+
+	vs := s.Violations()
+	if len(vs) != 1 || vs[0].Rule != psan.RulePublishBeforePayload {
+		t.Fatalf("violations = %v, want one publish-before-payload", vs)
+	}
+	if vs[0].Site != wantPub || vs[0].StoreSite != wantStore {
+		t.Fatalf("sites = (%q stored %q), want (%q stored %q)",
+			vs[0].Site, vs[0].StoreSite, wantPub, wantStore)
+	}
+	if vs[0].Line != pmem.LineOf(payload+8) {
+		t.Fatalf("line = %d, want the dirty payload line %d", vs[0].Line, pmem.LineOf(payload+8))
+	}
+}
+
+func TestPublishBeforePayloadMissingFence(t *testing.T) {
+	h, s := newSanitizedHeap(t)
+	s.AdvanceEpoch(4)
+	cursorWord := h.DataStart()
+	payload := h.DataStart() + pmem.LineSize
+	s.RegisterCursor(cursorWord, payload, pmem.LineSize)
+
+	// Tracked payload, clwb issued — but no fence: the write-back has not
+	// happened, so the publish still races the payload's durability.
+	h.Store64(payload, 21)
+	s.NoteTracked(payload)
+	f := h.NewFlusher()
+	f.CLWB(payload)
+	h.Store64(cursorWord, 1)
+	vs := s.Violations()
+	if len(vs) != 1 || vs[0].Rule != psan.RulePublishBeforePayload {
+		t.Fatalf("violations = %v, want one publish-before-payload (clwb without sfence)", vs)
+	}
+
+	// Fence, republish: clean.
+	f.SFence()
+	h.Store64(cursorWord, 2)
+	if got := len(s.Violations()); got != 1 {
+		t.Fatalf("violations after fenced republish = %d, want still 1", got)
+	}
+}
+
+func TestStoreOutsideWindowThroughRuntime(t *testing.T) {
+	rt, err := core.NewRuntime(pmem.New(pmem.Config{Size: 8 << 20}),
+		core.Config{Threads: 1, Sanitize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.Thread(0)
+	a := rt.Arena().AllocRaw(th, 8)
+
+	th.CheckpointAllow()
+	wantSite := below()
+	th.StoreTracked(a, 1)
+	th.CheckpointPrevent(nil)
+
+	var r4 []psan.Violation
+	for _, v := range rt.Sanitizer().Violations() {
+		if v.Rule == psan.RuleStoreOutsideWindow {
+			r4 = append(r4, v)
+		}
+	}
+	if len(r4) != 1 {
+		t.Fatalf("store-outside-window findings = %v, want exactly one", r4)
+	}
+	if r4[0].Addr != a || r4[0].Site != wantSite {
+		t.Fatalf("finding = (%#x at %q), want (%#x at %q)",
+			uint64(r4[0].Addr), r4[0].Site, uint64(a), wantSite)
+	}
+
+	// The same store with the window closed is the sanctioned idiom.
+	th.StoreTracked(a, 2)
+	if got := len(rt.Sanitizer().Violations()); got != 1 {
+		t.Fatalf("violations after in-window store = %d, want still 1", got)
+	}
+}

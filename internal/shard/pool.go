@@ -64,6 +64,10 @@ type Config struct {
 	// Seed seeds per-shard chaos heaps.
 	Seed int64
 
+	// Sanitize attaches the runtime persistency sanitizer (collect mode,
+	// core.Config.Sanitize) to every shard runtime.
+	Sanitize bool
+
 	// RecoveryParallelism is the per-shard block-scan parallelism used by
 	// core.Recover (shards themselves always recover in parallel).
 	RecoveryParallelism int
@@ -133,7 +137,8 @@ type Pool struct {
 
 // shardRTConfig builds shard i's runtime config, labelling its series.
 func (cfg Config) shardRTConfig(i int) core.Config {
-	c := core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async, SerialFlush: cfg.SerialFlush, Metrics: cfg.Metrics}
+	c := core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async, SerialFlush: cfg.SerialFlush,
+		Sanitize: cfg.Sanitize, Metrics: cfg.Metrics}
 	if cfg.Metrics != nil {
 		c.MetricsLabels = telemetry.Labels{"shard": strconv.Itoa(i)}
 	}

@@ -1,4 +1,3 @@
-//respct:allow rawstore — flight ring orders its own persists (entry fenced before cursor, verified by persistorder) and must stay writable during the checkpoint it records
 package telemetry
 
 import (
