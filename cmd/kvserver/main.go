@@ -25,7 +25,14 @@
 //	         [-buckets 1048576] [-interval 64ms] [-heap 2147483648]
 //	         [-snapshot kv.img] [-snapshot-format image|frames]
 //	         [-snapshot-workers 0] [-metrics :9090] [-protocol auto]
-//	         [-transient]
+//	         [-structures] [-transient]
+//
+// -structures (on by default) enables the persistent structures surface —
+// ordered SCAN, queues (QPUSH/QPOP), logs (LAPPEND/LRANGE), per-key TTLs
+// (EXPIRE/TTL, swept at checkpoint boundaries by a dedicated per-shard
+// sweeper thread) and atomic MULTI batches — over both protocols; see
+// docs/COMMANDS.md. -structures=false runs the plain KV surface with
+// one-cell records and no sweeper.
 //
 // -async switches every shard runtime to asynchronous checkpointing: workers
 // pause only for the cut, the flush and the durable epoch commit run in the
@@ -76,6 +83,7 @@ func main() {
 	snapshotWorkers := flag.Int("snapshot-workers", 0, "parallel frame encoders per shard for -snapshot-format=frames (0 = GOMAXPROCS)")
 	metricsAddr := flag.String("metrics", "", "serve telemetry on this address (/metrics, /metrics.json, /debug/pprof/); empty disables instrumentation")
 	protocol := flag.String("protocol", "auto", `accepted wire protocols: "auto" (negotiate per connection by first byte), "text" or "binary"`)
+	structures := flag.Bool("structures", true, "enable the persistent structures surface (SCAN/QPUSH/QPOP/LAPPEND/LRANGE/EXPIRE/TTL/MULTI, see docs/COMMANDS.md); disabling reclaims the per-shard sweeper thread and two-cell records")
 	transient := flag.Bool("transient", false, "run the non-fault-tolerant store instead")
 	flag.Parse()
 
@@ -121,14 +129,15 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := shard.Config{
-		Shards:    *shards,
-		Workers:   *workers,
-		Buckets:   max(*buckets / *shards, 1<<8),
-		HeapBytes: *heapBytes / int64(*shards),
-		Interval:  *interval,
-		Sync:      *sync,
-		Async:     *async,
-		Metrics:   reg,
+		Shards:     *shards,
+		Workers:    *workers,
+		Buckets:    max(*buckets / *shards, 1<<8),
+		HeapBytes:  *heapBytes / int64(*shards),
+		Interval:   *interval,
+		Sync:       *sync,
+		Async:      *async,
+		Structures: *structures,
+		Metrics:    reg,
 	}
 
 	if *snapshot != "" {

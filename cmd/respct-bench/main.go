@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	respct-bench [flags] <fig8|fig9|fig10|fig11|fig12|fig13|fig14|figshards|figpause|figframes|figstores|fignet|rpstudy|table3|all>
+//	respct-bench [flags] <fig8|fig9|fig10|fig11|fig12|fig13|fig14|figshards|figpause|figframes|figstores|fignet|figscan|rpstudy|table3|all>
 //
 // Flags:
 //
@@ -13,16 +13,18 @@
 //	-interval d          checkpoint period (default 64ms at paper scale)
 //	-csv dir             also write raw fig8/fig9 results as CSV into dir
 //	-json dir            also write figpause/figshards/figframes/figstores/
-//	                     fignet results as JSON into dir (BENCH_figpause.json,
-//	                     BENCH_figshards.json, BENCH_figframes.json,
-//	                     BENCH_figstores.json, BENCH_fignet.json); the
+//	                     fignet/figscan results as JSON into dir
+//	                     (BENCH_figpause.json, BENCH_figshards.json,
+//	                     BENCH_figframes.json, BENCH_figstores.json,
+//	                     BENCH_fignet.json, BENCH_figscan.json); the
 //	                     figpause/figshards runs are instrumented and every
 //	                     row carries its closing telemetry snapshot
 //	-baseline file       with figstores: compare against a checked-in
 //	                     BENCH_figstores.json, exit 1 if any row's store
-//	                     ns/op regressed by more than 10%; with fignet:
-//	                     compare against BENCH_fignet.json, exit 1 if a
-//	                     depth's binary/text throughput ratio fell >10%
+//	                     ns/op regressed by more than 10%; with fignet and
+//	                     figscan: compare against BENCH_fignet.json /
+//	                     BENCH_figscan.json, exit 1 if a depth's binary/text
+//	                     throughput ratio fell >10%
 //	-v                   progress logging to stderr
 package main
 
@@ -196,6 +198,28 @@ func main() {
 				}
 				fmt.Fprintf(os.Stderr, "fignet: within 10%% of %s\n", *baseline)
 			}
+		case "figscan":
+			out, results := bench.FigScanR(ks, log)
+			fmt.Print(out)
+			if *jsonDir != "" {
+				writeJSON("BENCH_figscan.json", bench.NewReport("figscan", *scaleFlag, ks, results))
+			}
+			if *baseline != "" {
+				// Same ratio gate and retry policy as fignet: the binary/text
+				// capacity ratio is the host-stable figure the scan surface
+				// owns.
+				err := bench.CompareScanBaseline(*baseline, results, 0.10)
+				for attempt := 2; err != nil && attempt <= 3; attempt++ {
+					fmt.Fprintf(os.Stderr, "figscan: retrying (attempt %d/3) after: %v\n", attempt, err)
+					_, results = bench.FigScanR(ks, log)
+					err = bench.CompareScanBaseline(*baseline, results, 0.10)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "figscan: within 10%% of %s\n", *baseline)
+			}
 		case "figframes":
 			out, results := bench.FigFramesR(ks, nil, nil, log)
 			fmt.Print(out)
@@ -214,7 +238,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "figshards", "figpause", "figframes", "figstores", "fignet", "rpstudy", "table3"} {
+		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "figshards", "figpause", "figframes", "figstores", "fignet", "figscan", "rpstudy", "table3"} {
 			run(name)
 		}
 		return

@@ -54,9 +54,16 @@ type textBatchExec struct{ clients []*kv.Client }
 func (e *textBatchExec) ExecBatch(cli int, ops []ycsb.BatchOp) error {
 	c := e.clients[cli]
 	for i := range ops {
-		if ops[i].Read {
-			c.SendGet(ops[i].Key)
-		} else if err := c.SendSet(ops[i].Key, ops[i].Value); err != nil {
+		var err error
+		switch {
+		case ops[i].Scan:
+			err = c.SendScan(ops[i].Key, "", ops[i].ScanLimit)
+		case ops[i].Read:
+			err = c.SendGet(ops[i].Key)
+		default:
+			err = c.SendSet(ops[i].Key, ops[i].Value)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -64,11 +71,16 @@ func (e *textBatchExec) ExecBatch(cli int, ops []ycsb.BatchOp) error {
 		return err
 	}
 	for i := range ops {
-		if ops[i].Read {
-			if _, _, err := c.RecvGet(); err != nil {
-				return err
-			}
-		} else if err := c.RecvSet(); err != nil {
+		var err error
+		switch {
+		case ops[i].Scan:
+			_, err = c.RecvScan()
+		case ops[i].Read:
+			_, _, err = c.RecvGet()
+		default:
+			err = c.RecvSet()
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -83,9 +95,12 @@ func (e *binBatchExec) ExecBatch(cli int, ops []ycsb.BatchOp) error {
 	c := e.clients[cli]
 	q := c.Queue()
 	for i := range ops {
-		if ops[i].Read {
+		switch {
+		case ops[i].Scan:
+			q.Scan(ops[i].Key, "", uint32(ops[i].ScanLimit))
+		case ops[i].Read:
 			q.Get(ops[i].Key)
-		} else {
+		default:
 			q.Set(ops[i].Key, ops[i].Value)
 		}
 	}
@@ -98,7 +113,12 @@ func (e *binBatchExec) ExecBatch(cli int, ops []ycsb.BatchOp) error {
 		return err
 	}
 	for i := range res {
-		if !ops[i].Read && res[i].Status != wire.StatusStored {
+		switch {
+		case ops[i].Scan:
+			if res[i].Status != wire.StatusEntries {
+				return fmt.Errorf("bench: scan status 0x%02x", res[i].Status)
+			}
+		case !ops[i].Read && res[i].Status != wire.StatusStored:
 			return fmt.Errorf("bench: set status 0x%02x", res[i].Status)
 		}
 	}
@@ -247,6 +267,12 @@ func netCell(rows []NetRow, proto string, depth int) *NetRow {
 // subsystem owns: the ratio must not fall more than tolerance below the
 // baseline's. Depths missing from either side are ignored.
 func CompareNetBaseline(path string, rows []NetRow, tolerance float64) error {
+	return compareRatioBaseline("fignet", path, rows, netDepths, tolerance)
+}
+
+// compareRatioBaseline is the shared binary/text ratio gate behind the
+// fignet and figscan baselines.
+func compareRatioBaseline(fig, path string, rows []NetRow, depths []int, tolerance float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -265,7 +291,7 @@ func CompareNetBaseline(path string, rows []NetRow, tolerance float64) error {
 		return b.Kops / t.Kops
 	}
 	var bad []string
-	for _, depth := range netDepths {
+	for _, depth := range depths {
 		base, cur := ratio(rep.Rows, depth), ratio(rows, depth)
 		if base <= 0 || cur <= 0 {
 			continue
@@ -276,7 +302,7 @@ func CompareNetBaseline(path string, rows []NetRow, tolerance float64) error {
 		}
 	}
 	if len(bad) > 0 {
-		return fmt.Errorf("fignet regression beyond %.0f%%:\n  %s", 100*tolerance, strings.Join(bad, "\n  "))
+		return fmt.Errorf("%s regression beyond %.0f%%:\n  %s", fig, 100*tolerance, strings.Join(bad, "\n  "))
 	}
 	return nil
 }

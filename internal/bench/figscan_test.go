@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyScanScale() KVScale {
+	return KVScale{
+		Records: 512, Operations: 2_000, ValueSize: 32,
+		Clients: 2, Workers: 2, Buckets: 1 << 8,
+		Interval: 8 * time.Millisecond, HeapBytes: 64 << 20,
+	}
+}
+
+// TestFigScanRows smoke-tests the YCSB-E cell matrix: both protocols at both
+// depths actually serve scans (errors inside a cell panic the run), and
+// every row records positive throughput.
+func TestFigScanRows(t *testing.T) {
+	out, rows := FigScanR(tinyScanScale(), nil)
+	if len(rows) != 2*len(scanDepths) {
+		t.Fatalf("got %d rows, want %d (text/binary × depths):\n%s", len(rows), 2*len(scanDepths), out)
+	}
+	for _, r := range rows {
+		if r.Protocol != "text" && r.Protocol != "binary" {
+			t.Fatalf("unexpected protocol %q", r.Protocol)
+		}
+		if r.Kops <= 0 || r.OpenRateKops <= 0 {
+			t.Errorf("%s depth %d: non-positive throughput (%.2f kops, %.2f open)",
+				r.Protocol, r.Depth, r.Kops, r.OpenRateKops)
+		}
+		if r.P50 <= 0 || r.Max < r.P99 {
+			t.Errorf("%s depth %d: implausible quantiles p50=%d p99=%d max=%d",
+				r.Protocol, r.Depth, r.P50, r.P99, r.Max)
+		}
+	}
+	if !strings.Contains(out, "binary/text capacity ratio") {
+		t.Fatalf("table missing ratio lines:\n%s", out)
+	}
+}
+
+func TestCompareScanBaseline(t *testing.T) {
+	rows := []NetRow{
+		{Protocol: "text", Depth: 1, Kops: 100},
+		{Protocol: "binary", Depth: 1, Kops: 150}, // ratio 1.5
+		{Protocol: "text", Depth: 8, Kops: 200},
+		{Protocol: "binary", Depth: 8, Kops: 400}, // ratio 2.0
+	}
+	write := func(t *testing.T, base []NetRow) string {
+		t.Helper()
+		data, err := json.Marshal(NewReport("figscan", "quick", KVScale{}, base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "BENCH_figscan.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	ok := write(t, []NetRow{
+		{Protocol: "text", Depth: 1, Kops: 100}, {Protocol: "binary", Depth: 1, Kops: 155},
+		{Protocol: "text", Depth: 8, Kops: 100}, {Protocol: "binary", Depth: 8, Kops: 210},
+	})
+	if err := CompareScanBaseline(ok, rows, 0.10); err != nil {
+		t.Fatalf("within-tolerance compare failed: %v", err)
+	}
+
+	// Depth-8 ratio 25% above the measured one: the gate must trip and name
+	// the depth.
+	bad := write(t, []NetRow{
+		{Protocol: "text", Depth: 8, Kops: 100}, {Protocol: "binary", Depth: 8, Kops: 270},
+	})
+	err := CompareScanBaseline(bad, rows, 0.10)
+	if err == nil {
+		t.Fatal("ratio regression passed the 10% gate")
+	}
+	if !strings.Contains(err.Error(), "depth 8") || !strings.Contains(err.Error(), "figscan") {
+		t.Fatalf("regression error does not name the depth: %v", err)
+	}
+
+	if err := CompareScanBaseline(filepath.Join(t.TempDir(), "absent.json"), rows, 0.10); err == nil {
+		t.Fatal("missing baseline file did not error")
+	}
+}

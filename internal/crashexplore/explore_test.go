@@ -63,6 +63,11 @@ func TestDurabilityAcrossCrashPoints(t *testing.T) {
 		{"kv-frames", 30},
 		{"kv-batch-sync", 30},
 		{"kv-batch-async", 30},
+		{"kv-scan", 30},
+		{"kv-ttl", 30},
+		{"kv-queue", 30},
+		{"kv-log", 30},
+		{"kv-multi", 30},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -112,6 +112,21 @@ var builders = map[string]func() Workload{
 		return &kvBatchWorkload{name: "kv-batch-async", async: true, collide: true,
 			frames: 3, opsPerFrame: 6, keySpace: 8}
 	},
+	"kv-scan": func() Workload {
+		return &kvStructWorkload{name: "kv-scan", family: "scan", batches: 3, opsPerBatch: 8, keySpace: 10}
+	},
+	"kv-ttl": func() Workload {
+		return &kvStructWorkload{name: "kv-ttl", family: "ttl", batches: 3, opsPerBatch: 8, keySpace: 8}
+	},
+	"kv-queue": func() Workload {
+		return &kvStructWorkload{name: "kv-queue", family: "queue", batches: 3, opsPerBatch: 6, keySpace: 8}
+	},
+	"kv-log": func() Workload {
+		return &kvStructWorkload{name: "kv-log", family: "log", batches: 3, opsPerBatch: 6, keySpace: 8}
+	},
+	"kv-multi": func() Workload {
+		return &kvStructWorkload{name: "kv-multi", family: "multi", batches: 3, opsPerBatch: 6, keySpace: 8}
+	},
 }
 
 // Lookup returns the registered workload for name.

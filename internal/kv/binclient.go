@@ -2,6 +2,7 @@ package kv
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -145,7 +146,9 @@ func (c *BinaryClient) decodeInto(f *wire.RespFrame, fut *Future) error {
 		if err != nil {
 			return err
 		}
-		sp := span{status: r.Status, off: len(arena), n: len(r.Value), value: r.Status == wire.StatusValue}
+		carriesValue := r.Status == wire.StatusValue || r.Status == wire.StatusEntries ||
+			r.Status == wire.StatusAppended || r.Status == wire.StatusTTL
+		sp := span{status: r.Status, off: len(arena), n: len(r.Value), value: carriesValue}
 		arena = append(arena, r.Value...)
 		spans = append(spans, sp)
 	}
@@ -198,6 +201,133 @@ func (c *BinaryClient) Delete(key string) (bool, error) {
 		return false, err
 	}
 	return res.Status == wire.StatusDeleted, nil
+}
+
+// Scan lists entries with keys in [from, to] (empty = unbounded), at most
+// limit, synchronously. The server additionally truncates at the response
+// frame's value budget.
+func (c *BinaryClient) Scan(from, to string, limit uint32) ([]Entry, error) {
+	c.b.Scan(from, to, limit)
+	res, err := c.roundTrip()
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != wire.StatusEntries {
+		return nil, fmt.Errorf("kv: scan: status 0x%02x", res.Status)
+	}
+	var out []Entry
+	err = wire.ParseEntries(res.Value, func(key, value []byte) bool {
+		out = append(out, Entry{Key: string(key), Value: value})
+		return true
+	})
+	return out, err
+}
+
+// QPush appends value to the named queue synchronously.
+func (c *BinaryClient) QPush(name string, value []byte) error {
+	c.b.QPush(name, value)
+	res, err := c.roundTrip()
+	if err != nil {
+		return err
+	}
+	return structResultErr("qpush", name, res.Status, wire.StatusStored)
+}
+
+// QPop removes and returns the named queue's oldest element synchronously.
+func (c *BinaryClient) QPop(name string) ([]byte, bool, error) {
+	c.b.QPop(name)
+	res, err := c.roundTrip()
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Status == wire.StatusValue {
+		return res.Value, true, nil
+	}
+	if res.Status == wire.StatusEmpty {
+		return nil, false, nil
+	}
+	return nil, false, structResultErr("qpop", name, res.Status, wire.StatusValue)
+}
+
+// LAppend appends record to the named log synchronously and returns its
+// index.
+func (c *BinaryClient) LAppend(name string, record []byte) (uint64, error) {
+	c.b.LAppend(name, record)
+	res, err := c.roundTrip()
+	if err != nil {
+		return 0, err
+	}
+	if res.Status != wire.StatusAppended || len(res.Value) != 8 {
+		return 0, structResultErr("lappend", name, res.Status, wire.StatusAppended)
+	}
+	return binary.LittleEndian.Uint64(res.Value), nil
+}
+
+// LRange reads count records of the named log starting at index from,
+// synchronously. A missing log reads as empty.
+func (c *BinaryClient) LRange(name string, from uint64, count uint32) ([][]byte, error) {
+	c.b.LRange(name, from, count)
+	res, err := c.roundTrip()
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != wire.StatusEntries {
+		return nil, structResultErr("lrange", name, res.Status, wire.StatusEntries)
+	}
+	var out [][]byte
+	err = wire.ParseEntries(res.Value, func(_, value []byte) bool {
+		out = append(out, value)
+		return true
+	})
+	return out, err
+}
+
+// Expire sets key's time-to-live in milliseconds (0 clears it) synchronously
+// and reports whether the key exists.
+func (c *BinaryClient) Expire(key string, ms uint64) (bool, error) {
+	c.b.Expire(key, ms)
+	res, err := c.roundTrip()
+	if err != nil {
+		return false, err
+	}
+	if res.Status == wire.StatusNotFound {
+		return false, nil
+	}
+	return true, structResultErr("expire", key, res.Status, wire.StatusStored)
+}
+
+// TTL reads key's remaining time-to-live synchronously: (ms, true) for a
+// live key (0 = no expiry set), (0, false) for a missing or expired one.
+func (c *BinaryClient) TTL(key string) (uint64, bool, error) {
+	c.b.TTL(key)
+	res, err := c.roundTrip()
+	if err != nil {
+		return 0, false, err
+	}
+	if res.Status == wire.StatusNotFound {
+		return 0, false, nil
+	}
+	if res.Status != wire.StatusTTL || len(res.Value) != 8 {
+		return 0, false, structResultErr("ttl", key, res.Status, wire.StatusTTL)
+	}
+	return binary.LittleEndian.Uint64(res.Value), true, nil
+}
+
+// structResultErr maps an unexpected structure-op status to a readable
+// error (nil when status is the expected one).
+func structResultErr(verb, name string, status, want byte) error {
+	switch {
+	case status == want:
+		return nil
+	case status == wire.StatusWrongType:
+		return fmt.Errorf("kv: %s %s: %w", verb, name, ErrWrongType)
+	case status == wire.StatusRefused:
+		return fmt.Errorf("kv: %s %s: %w", verb, name, ErrStructuresDisabled)
+	case status == wire.StatusTooLarge:
+		return fmt.Errorf("kv: %s %s: value too large", verb, name)
+	default:
+		return fmt.Errorf("kv: %s %s: status 0x%02x", verb, name, status)
+	}
 }
 
 func (c *BinaryClient) roundTrip() (BatchResult, error) {

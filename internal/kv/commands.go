@@ -1,0 +1,49 @@
+package kv
+
+import "github.com/respct/respct/internal/wire"
+
+// Command describes one server command for the normative reference in
+// docs/COMMANDS.md. The doc's command table is generated from (and tested
+// against) this registry, so the doc can never silently drift from what the
+// server ships: TestCommandsMatchReference diffs the two.
+type Command struct {
+	// Verb is the text-protocol verb.
+	Verb string
+	// Opcode is the binary-protocol opcode, 0 when the command has no
+	// binary form (MULTI maps to FlagAtomic frames instead of an opcode).
+	Opcode byte
+	// Since is the wire protocol version that introduced the binary form
+	// (0 for text-only commands).
+	Since int
+	// Durability names the InCLL/undo scheme that makes the mutation
+	// crash-atomic (or states that the command does not mutate).
+	Durability string
+}
+
+// Commands returns the full command registry in documentation order.
+func Commands() []Command {
+	return []Command{
+		{Verb: "get", Opcode: wire.OpGet, Since: 1,
+			Durability: "read-only; expired keys filtered before the sweep"},
+		{Verb: "set", Opcode: wire.OpSet, Since: 1,
+			Durability: "write-once record + one logged pointer swing (InCLL undo); clears any TTL"},
+		{Verb: "delete", Opcode: wire.OpDelete, Since: 1,
+			Durability: "logged pointer unlink (InCLL undo), record freed after unlink"},
+		{Verb: "scan", Opcode: wire.OpScan, Since: 2,
+			Durability: "read-only; walks the persistent ordered index under its lock"},
+		{Verb: "qpush", Opcode: wire.OpQPush, Since: 2,
+			Durability: "write-once value blob + logged queue pointer updates (InCLL undo)"},
+		{Verb: "qpop", Opcode: wire.OpQPop, Since: 2,
+			Durability: "logged head/tail updates (InCLL undo), blob freed after unlink"},
+		{Verb: "lappend", Opcode: wire.OpLAppend, Since: 2,
+			Durability: "write-once record bytes + logged count/tail updates (InCLL undo)"},
+		{Verb: "lrange", Opcode: wire.OpLRange, Since: 2,
+			Durability: "read-only; indexed walk of the log's segment chain"},
+		{Verb: "expire", Opcode: wire.OpExpire, Since: 2,
+			Durability: "one logged update of the record's expiry cell (InCLL undo)"},
+		{Verb: "ttl", Opcode: wire.OpTTL, Since: 2,
+			Durability: "read-only; deadline read against the store clock"},
+		{Verb: "multi", Opcode: 0, Since: 0,
+			Durability: "sub-ops under one checkpoint-prevent window: the batch commits or rolls back whole"},
+	}
+}

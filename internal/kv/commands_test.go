@@ -1,0 +1,56 @@
+package kv
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// renderCommandRow renders one registry entry exactly as the docs/COMMANDS.md
+// command table spells it.
+func renderCommandRow(c Command) string {
+	opcode, since := "—", "—"
+	if c.Opcode != 0 {
+		opcode = fmt.Sprintf("`0x%02X`", c.Opcode)
+	}
+	if c.Since != 0 {
+		since = fmt.Sprintf("v%d", c.Since)
+	}
+	return fmt.Sprintf("| `%s` | %s | %s | %s |", c.Verb, opcode, since, c.Durability)
+}
+
+// TestCommandsMatchReference diffs the command registry against the table in
+// docs/COMMANDS.md, so the normative reference cannot drift from what the
+// server ships: adding, removing or editing a command fails here until the
+// doc row matches verbatim.
+func TestCommandsMatchReference(t *testing.T) {
+	data, err := os.ReadFile("../../docs/COMMANDS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The command table is the run of "| `" rows inside the "## Commands"
+	// section (the grammar section has its own tables, so the section bound
+	// matters).
+	var rows []string
+	inSection := false
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(line, "## "):
+			inSection = strings.TrimSpace(line) == "## Commands"
+		case inSection && strings.HasPrefix(line, "| `"):
+			rows = append(rows, strings.TrimRight(line, "\r"))
+		}
+	}
+
+	cmds := Commands()
+	if len(rows) != len(cmds) {
+		t.Fatalf("docs/COMMANDS.md table has %d rows, registry has %d commands", len(rows), len(cmds))
+	}
+	for i, c := range cmds {
+		if want := renderCommandRow(c); rows[i] != want {
+			t.Errorf("docs/COMMANDS.md row %d out of sync with the registry:\n  doc:      %s\n  registry: %s", i, rows[i], want)
+		}
+	}
+}

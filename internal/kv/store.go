@@ -6,6 +6,7 @@
 package kv
 
 import (
+	"strconv"
 	"sync"
 
 	"github.com/respct/respct/internal/core"
@@ -43,30 +44,36 @@ const kvStripes = 1024
 // data), and every mutation is a logged pointer update, so SETs never log
 // value bytes — the ResPCT idiom.
 //
-// Record block layout: 1 InCLL cell (chain next), raw words:
-// [keyLen|valLen, key bytes..., value bytes...].
+// Record block layout: recCells InCLL cells, raw words:
+// [keyLen|valLen, key bytes..., value bytes...]. Cell 0 is the chain next
+// pointer. A plain store's records have exactly 1 cell; a Structures-mode
+// store (see StoreOptions) adds cell 1 holding the record's expiry deadline
+// in clock milliseconds (0 = no expiry), plus the ordered index, the named
+// structure directory and the volatile state declared in struct.go.
 type RespctStore struct {
-	rt    *core.Runtime
-	index *structures.RespctMap
-	locks [kvStripes]sync.Mutex
+	rt       *core.Runtime
+	index    *structures.RespctMap
+	locks    [kvStripes]sync.Mutex
+	recCells int
+
+	// Structures mode (nil/zero on a plain store; see struct.go).
+	ord     *structures.RespctStrSkipList
+	dirRoot int
+	clock   func() uint64
+	expMu   sync.Mutex
+	exp     map[string]uint64
+	dirMu   sync.Mutex
+	handles map[string]*namedHandle
 }
 
-// NewRespctStore creates a store whose index lives under rootIdx.
+// NewRespctStore creates a plain store whose index lives under rootIdx.
 func NewRespctStore(rt *core.Runtime, rootIdx, buckets int) (*RespctStore, error) {
-	idx, err := structures.NewRespctMap(rt, rootIdx, buckets)
-	if err != nil {
-		return nil, err
-	}
-	return &RespctStore{rt: rt, index: idx}, nil
+	return NewRespctStoreOpts(rt, rootIdx, StoreOptions{Buckets: buckets})
 }
 
-// OpenRespctStore reattaches after recovery.
+// OpenRespctStore reattaches a plain store after recovery.
 func OpenRespctStore(rt *core.Runtime, rootIdx int) (*RespctStore, error) {
-	idx, err := structures.OpenRespctMap(rt, rootIdx)
-	if err != nil {
-		return nil, err
-	}
-	return &RespctStore{rt: rt, index: idx}, nil
+	return OpenRespctStoreOpts(rt, rootIdx, StoreOptions{})
 }
 
 func recWords(keyLen, valLen int) int {
@@ -75,12 +82,15 @@ func recWords(keyLen, valLen int) int {
 
 func (s *RespctStore) newRecord(th int, next pmem.Addr, key string, value []byte) pmem.Addr {
 	t := s.rt.Thread(th)
-	rec := s.rt.Arena().Alloc(t, 1, recWords(len(key), len(value)))
+	rec := s.rt.Arena().Alloc(t, s.recCells, recWords(len(key), len(value)))
 	if rec == pmem.NilAddr {
 		panic("kv: out of persistent memory")
 	}
 	t.Init(core.Cell(rec, 0), uint64(next))
-	raw := core.RawBase(rec, 1)
+	if s.recCells == recCellsStruct {
+		t.Init(core.Cell(rec, 1), 0) // fresh records carry no expiry
+	}
+	raw := core.RawBase(rec, s.recCells)
 	h := s.rt.Heap()
 	h.Store64(raw, uint64(len(key))<<32|uint64(len(value)))
 	keyBase := raw + 8
@@ -94,7 +104,7 @@ func (s *RespctStore) newRecord(th int, next pmem.Addr, key string, value []byte
 func (s *RespctStore) recNext(rec pmem.Addr) core.InCLL { return core.Cell(rec, 0) }
 
 func (s *RespctStore) recKey(rec pmem.Addr) string {
-	raw := core.RawBase(rec, 1)
+	raw := core.RawBase(rec, s.recCells)
 	kl := int(s.rt.Heap().Load64(raw) >> 32)
 	return string(s.rt.Heap().LoadBytes(raw+8, kl))
 }
@@ -102,7 +112,7 @@ func (s *RespctStore) recKey(rec pmem.Addr) string {
 // keyIs reports whether rec's key equals key without materialising it — the
 // per-probe comparison of every chain walk, kept allocation-free.
 func (s *RespctStore) keyIs(rec pmem.Addr, key string) bool {
-	raw := core.RawBase(rec, 1)
+	raw := core.RawBase(rec, s.recCells)
 	h := s.rt.Heap()
 	if int(h.Load64(raw)>>32) != len(key) {
 		return false
@@ -111,7 +121,7 @@ func (s *RespctStore) keyIs(rec pmem.Addr, key string) bool {
 }
 
 func (s *RespctStore) recValue(rec pmem.Addr) []byte {
-	raw := core.RawBase(rec, 1)
+	raw := core.RawBase(rec, s.recCells)
 	lens := s.rt.Heap().Load64(raw)
 	kl, vl := int(lens>>32), int(lens&0xFFFFFFFF)
 	valBase := raw + 8 + pmem.Addr((kl+7)/8*8)
@@ -119,7 +129,11 @@ func (s *RespctStore) recValue(rec pmem.Addr) []byte {
 }
 
 // Set implements Store: records are immutable, so an update allocates the
-// new record and swings one logged pointer.
+// new record and swings one logged pointer. A SET discards any previous TTL
+// (the fresh record's expiry cell is zero). The ordered index is repointed
+// at the new record BEFORE the old one is freed, so a concurrent Scan
+// (which holds the ordered index's lock for its whole walk) can never read
+// a freed record through a stale index value.
 func (s *RespctStore) Set(th int, key string, value []byte) {
 	hash := fnv1a(key)
 	mu := &s.locks[hash%kvStripes]
@@ -130,6 +144,7 @@ func (s *RespctStore) Set(th int, key string, value []byte) {
 	if !ok {
 		rec := s.newRecord(th, pmem.NilAddr, key, value)
 		s.index.Insert(th, hash, uint64(rec))
+		s.ordPut(th, key, rec)
 		return
 	}
 	// Walk the same-hash chain for this exact key.
@@ -143,6 +158,7 @@ func (s *RespctStore) Set(th int, key string, value []byte) {
 			} else {
 				t.UpdateAddr(prev, n)
 			}
+			s.ordPut(th, key, n)
 			s.rt.Arena().Free(t, rec)
 			return
 		}
@@ -152,6 +168,7 @@ func (s *RespctStore) Set(th int, key string, value []byte) {
 	// Hash collision with a different key: prepend.
 	rec := s.newRecord(th, pmem.Addr(head), key, value)
 	s.index.Insert(th, hash, uint64(rec))
+	s.ordPut(th, key, rec)
 }
 
 // Get implements Store.
@@ -166,13 +183,17 @@ func (s *RespctStore) Get(th int, key string) ([]byte, bool) {
 	}
 	for rec := pmem.Addr(head); rec != pmem.NilAddr; rec = s.rt.ReadAddr(s.recNext(rec)) {
 		if s.keyIs(rec, key) {
+			if s.recExpired(rec) {
+				return nil, false // dead but not yet swept: reads filter
+			}
 			return s.recValue(rec), true
 		}
 	}
 	return nil, false
 }
 
-// Delete implements Store.
+// Delete implements Store. An expired-but-unswept record is removed
+// physically but reported as a miss — logically the key was already gone.
 func (s *RespctStore) Delete(th int, key string) bool {
 	hash := fnv1a(key)
 	mu := &s.locks[hash%kvStripes]
@@ -187,6 +208,7 @@ func (s *RespctStore) Delete(th int, key string) bool {
 	for rec := pmem.Addr(head); rec != pmem.NilAddr; {
 		next := s.rt.ReadAddr(s.recNext(rec))
 		if s.keyIs(rec, key) {
+			live := !s.recExpired(rec)
 			if prev.IsNil() {
 				if next == pmem.NilAddr {
 					s.index.Remove(th, hash)
@@ -196,8 +218,9 @@ func (s *RespctStore) Delete(th int, key string) bool {
 			} else {
 				t.UpdateAddr(prev, next)
 			}
+			s.ordDrop(th, key)
 			s.rt.Arena().Free(t, rec)
-			return true
+			return live
 		}
 		prev = s.recNext(rec)
 		rec = next
@@ -374,13 +397,25 @@ func (s *RespctStore) Count() int {
 
 // SnapshotLogical returns the store's full logical contents. Callers must
 // ensure quiescence (crash checkers run it inside the checkpoint's quiesced
-// hook).
+// hook). In Structures mode the snapshot also encodes the persistent
+// structure state so crash checkers cover it: a key with a pending TTL maps
+// to "value@deadline", and structure state appears under NUL-prefixed
+// pseudo-keys ("\x00ord" for the ordered-index digest, "\x00q:name" and
+// "\x00l:name" for queue and log contents) that can never collide with
+// client keys, which the server rejects if they contain NUL.
 func (s *RespctStore) SnapshotLogical() map[string]string {
 	out := make(map[string]string)
 	for _, head := range s.index.Snapshot() {
 		for rec := pmem.Addr(head); rec != pmem.NilAddr; rec = s.rt.ReadAddr(s.recNext(rec)) {
-			out[s.recKey(rec)] = string(s.recValue(rec))
+			v := string(s.recValue(rec))
+			if s.recCells == recCellsStruct {
+				if d := s.rt.Read(core.Cell(rec, 1)); d != 0 {
+					v += "@" + strconv.FormatUint(d, 10)
+				}
+			}
+			out[s.recKey(rec)] = v
 		}
 	}
+	s.snapshotStructures(out)
 	return out
 }

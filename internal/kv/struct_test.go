@@ -1,0 +1,266 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/respct/respct/internal/core"
+	"github.com/respct/respct/internal/pmem"
+)
+
+// fakeClock is a settable millisecond clock for deterministic TTL tests.
+type fakeClock struct{ now uint64 }
+
+func (c *fakeClock) read() uint64 { return c.now }
+
+func newStructStore(t testing.TB, clk *fakeClock) *RespctStore {
+	t.Helper()
+	h := pmem.New(pmem.Config{Size: 256 << 20})
+	rt, err := core.NewRuntime(h, core.Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRespctStoreOpts(rt, 0, StoreOptions{Buckets: 1024, Structures: true, Clock: clk.read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStructStoreScan(t *testing.T) {
+	clk := &fakeClock{now: 1000}
+	s := newStructStore(t, clk)
+	storeBattery(t, s) // the structures layout must pass the plain battery too
+
+	for i := 0; i < 20; i++ {
+		s.Set(0, fmt.Sprintf("scan%03d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	got := s.Scan(0, "scan005", "scan010", 100)
+	if len(got) != 6 || got[0].Key != "scan005" || got[5].Key != "scan010" {
+		t.Fatalf("bounded scan = %d entries, first %q", len(got), got[0].Key)
+	}
+	if string(got[2].Value) != "v7" {
+		t.Fatalf("scan007 value = %q", got[2].Value)
+	}
+	if got = s.Scan(0, "scan000", "", 3); len(got) != 3 || got[2].Key != "scan002" {
+		t.Fatalf("limited scan = %v", got)
+	}
+	if got = s.Scan(0, "scan990", "scan999", 10); len(got) != 0 {
+		t.Fatalf("empty-range scan returned %d entries", len(got))
+	}
+	// An overwritten key must scan to its newest value (the ordered index
+	// was repointed).
+	s.Set(0, "scan007", []byte("fresh"))
+	if got = s.Scan(0, "scan007", "scan007", 1); string(got[0].Value) != "fresh" {
+		t.Fatalf("scan after overwrite = %q", got[0].Value)
+	}
+	// A deleted key must vanish from scans.
+	s.Delete(0, "scan008")
+	if got = s.Scan(0, "scan008", "scan008", 1); len(got) != 0 {
+		t.Fatal("deleted key still scans")
+	}
+}
+
+func TestStructStoreTTL(t *testing.T) {
+	clk := &fakeClock{now: 1000}
+	s := newStructStore(t, clk)
+	s.Set(0, "k", []byte("v"))
+
+	if ms, ok := s.TTL(0, "k"); !ok || ms != 0 {
+		t.Fatalf("fresh key TTL = %d,%v", ms, ok)
+	}
+	if !s.Expire(0, "k", 500) {
+		t.Fatal("expire missed a live key")
+	}
+	if ms, ok := s.TTL(0, "k"); !ok || ms != 500 {
+		t.Fatalf("TTL after expire = %d,%v", ms, ok)
+	}
+	clk.now += 499
+	if _, ok := s.Get(0, "k"); !ok {
+		t.Fatal("key dead before its deadline")
+	}
+	clk.now += 1
+	if _, ok := s.Get(0, "k"); ok {
+		t.Fatal("expired key still readable")
+	}
+	if _, ok := s.TTL(0, "k"); ok {
+		t.Fatal("expired key still has TTL")
+	}
+	if len(s.Scan(0, "k", "k", 1)) != 0 {
+		t.Fatal("expired key still scans")
+	}
+	if s.Expire(0, "k", 100) {
+		t.Fatal("expire revived an expired key")
+	}
+	if s.Delete(0, "k") {
+		t.Fatal("delete of an expired key reported live")
+	}
+	if s.Delete(0, "k") {
+		t.Fatal("expired record not removed physically")
+	}
+
+	// SET clears a pending TTL.
+	s.Set(0, "p", []byte("v"))
+	s.Expire(0, "p", 500)
+	s.Set(0, "p", []byte("v2"))
+	if ms, ok := s.TTL(0, "p"); !ok || ms != 0 {
+		t.Fatalf("TTL after SET = %d,%v (want persistent key)", ms, ok)
+	}
+	// EXPIRE 0 clears.
+	s.Expire(0, "p", 500)
+	s.Expire(0, "p", 0)
+	clk.now += 10000
+	if _, ok := s.Get(0, "p"); !ok {
+		t.Fatal("cleared TTL still expired the key")
+	}
+
+	// Sweep removes due records physically, once.
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("sweep%02d", i)
+		s.Set(0, key, []byte("v"))
+		if i%2 == 0 {
+			s.Expire(0, key, 100)
+		}
+	}
+	clk.now += 100
+	if n := s.SweepExpired(0, clk.now); n != 5 {
+		t.Fatalf("sweep removed %d keys, want 5", n)
+	}
+	if n := s.SweepExpired(0, clk.now); n != 0 {
+		t.Fatalf("second sweep removed %d keys", n)
+	}
+	if got := s.Scan(0, "sweep00", "sweep99", 100); len(got) != 5 {
+		t.Fatalf("%d keys survive the sweep, want 5", len(got))
+	}
+}
+
+func TestStructStoreQueueAndLog(t *testing.T) {
+	clk := &fakeClock{now: 1000}
+	s := newStructStore(t, clk)
+
+	if _, ok, err := s.QPop(0, "jobs"); ok || err != nil {
+		t.Fatalf("pop on a missing queue = %v,%v", ok, err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.QPush(0, "jobs", []byte(fmt.Sprintf("job%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok, err := s.QPop(0, "jobs")
+		if err != nil || !ok || string(v) != fmt.Sprintf("job%d", i) {
+			t.Fatalf("pop %d = %q,%v,%v", i, v, ok, err)
+		}
+	}
+	if _, ok, _ := s.QPop(0, "jobs"); ok {
+		t.Fatal("drained queue still pops")
+	}
+
+	for i := 0; i < 4; i++ {
+		idx, err := s.LAppend(0, "events", []byte(fmt.Sprintf("e%d", i)))
+		if err != nil || idx != uint64(i) {
+			t.Fatalf("append %d = %d,%v", i, idx, err)
+		}
+	}
+	recs, err := s.LRange(0, "events", 1, 2)
+	if err != nil || len(recs) != 2 || string(recs[0]) != "e1" || string(recs[1]) != "e2" {
+		t.Fatalf("lrange = %q,%v", recs, err)
+	}
+	if recs, _ = s.LRange(0, "nolog", 0, 10); len(recs) != 0 {
+		t.Fatal("missing log returned records")
+	}
+
+	// Type rules: a name is bound to its first structure kind.
+	if _, err := s.LAppend(0, "jobs", []byte("x")); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("lappend on a queue name = %v", err)
+	}
+	if err := s.QPush(0, "events", []byte("x")); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("qpush on a log name = %v", err)
+	}
+	// Structure names and KV keys are separate namespaces.
+	s.Set(0, "jobs", []byte("kv-value"))
+	if v, ok := s.Get(0, "jobs"); !ok || string(v) != "kv-value" {
+		t.Fatalf("kv key shadowed by queue name: %q,%v", v, ok)
+	}
+}
+
+func TestStructStoreDisabled(t *testing.T) {
+	s := newRespctStore(t, 1) // plain store
+	if err := s.QPush(0, "q", []byte("v")); !errors.Is(err, ErrStructuresDisabled) {
+		t.Fatalf("qpush on plain store = %v", err)
+	}
+	if s.Expire(0, "k", 5) || s.Scan(0, "", "", 10) != nil {
+		t.Fatal("plain store answered structure ops")
+	}
+}
+
+func TestStructStoreRecovery(t *testing.T) {
+	clk := &fakeClock{now: 1000}
+	s := newStructStore(t, clk)
+	rt := s.Runtime()
+
+	for i := 0; i < 50; i++ {
+		s.Set(0, fmt.Sprintf("key%03d", i), []byte("stable"))
+	}
+	s.Expire(0, "key007", 5000)
+	for i := 0; i < 6; i++ {
+		s.QPush(0, "q", []byte(fmt.Sprintf("item%d", i)))
+	}
+	s.QPop(0, "q")
+	for i := 0; i < 3; i++ {
+		s.LAppend(0, "l", []byte(fmt.Sprintf("rec%d", i)))
+	}
+	rt.Thread(0).CheckpointAllow()
+	rt.Checkpoint()
+	rt.Thread(0).CheckpointPrevent(nil)
+	want := s.SnapshotLogical()
+
+	// Doomed epoch: every command kind mutates, then the machine dies.
+	s.Set(0, "key001", []byte("doomed"))
+	s.Delete(0, "key002")
+	s.Expire(0, "key003", 99)
+	s.QPush(0, "q", []byte("doomed"))
+	s.QPop(0, "q")
+	s.LAppend(0, "l", []byte("doomed"))
+	s.QPush(0, "q2", []byte("doomed-new-queue"))
+	rt.Heap().EvictDirtyFraction(0.5, 7)
+	rt.Heap().Crash()
+
+	rt2, _, err := core.Recover(rt.Heap(), core.Config{Threads: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenRespctStoreOpts(rt2, 0, StoreOptions{Structures: true, Clock: clk.read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.SnapshotLogical()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d logical entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("entry %q = %q after recovery, want %q", k, got[k], v)
+		}
+	}
+	// The rebuilt expiry map must still drive the sweep.
+	clk.now += 5000
+	if n := s2.SweepExpired(0, clk.now); n != 1 {
+		t.Fatalf("post-recovery sweep removed %d keys, want 1 (key007)", n)
+	}
+	if _, ok := s2.Get(0, "key007"); ok {
+		t.Fatal("key007 survived its recovered deadline")
+	}
+	// Structure handles must reattach through the recovered directory.
+	if v, ok, err := s2.QPop(0, "q"); err != nil || !ok || string(v) != "item1" {
+		t.Fatalf("recovered queue pop = %q,%v,%v", v, ok, err)
+	}
+	recs, err := s2.LRange(0, "l", 0, 10)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("recovered log = %d records,%v", len(recs), err)
+	}
+	if got := s2.Scan(0, "key000", "key999", 100); len(got) != 49 {
+		t.Fatalf("recovered scan = %d entries, want 49 (key007 swept)", len(got))
+	}
+}

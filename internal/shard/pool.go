@@ -72,6 +72,18 @@ type Config struct {
 	// core.Recover (shards themselves always recover in parallel).
 	RecoveryParallelism int
 
+	// Structures enables the multi-model surface (ordered scans, queues,
+	// logs, TTL, atomic batches) on every shard store. Each shard runtime
+	// gains one extra thread slot beyond Workers: the expiry sweeper, which
+	// runs inside the checkpoint cut (see checkpointShard) so a completed
+	// checkpoint never resurrects a swept record.
+	Structures bool
+
+	// Clock is the structures-mode millisecond clock (TTL deadlines and
+	// the epoch-boundary sweep). Nil means wall clock. Ignored without
+	// Structures.
+	Clock func() uint64
+
 	// Metrics, when non-nil, receives per-shard runtime series (labelled
 	// shard="i"), one operations-routed counter per shard (router skew),
 	// and pool-level gauges. Nil adds nothing to any path.
@@ -135,9 +147,26 @@ type Pool struct {
 	frames   map[string][]*frame.Store
 }
 
+// rtThreads is the per-shard runtime thread count: one slot per worker,
+// plus the expiry sweeper's slot in structures mode.
+func (cfg Config) rtThreads() int {
+	if cfg.Structures {
+		return cfg.Workers + 1
+	}
+	return cfg.Workers
+}
+
+// sweeperThread is the expiry sweeper's thread index (structures mode).
+func (cfg Config) sweeperThread() int { return cfg.Workers }
+
+// storeOptions builds the per-shard store options.
+func (cfg Config) storeOptions() kv.StoreOptions {
+	return kv.StoreOptions{Buckets: cfg.Buckets, Structures: cfg.Structures, Clock: cfg.Clock}
+}
+
 // shardRTConfig builds shard i's runtime config, labelling its series.
 func (cfg Config) shardRTConfig(i int) core.Config {
-	c := core.Config{Threads: cfg.Workers, AsyncFlush: cfg.Async, SerialFlush: cfg.SerialFlush,
+	c := core.Config{Threads: cfg.rtThreads(), AsyncFlush: cfg.Async, SerialFlush: cfg.SerialFlush,
 		Sanitize: cfg.Sanitize, Metrics: cfg.Metrics}
 	if cfg.Metrics != nil {
 		c.MetricsLabels = telemetry.Labels{"shard": strconv.Itoa(i)}
@@ -185,15 +214,16 @@ func NewPool(cfg Config) (*Pool, error) {
 				errs[i] = err
 				return
 			}
-			st, err := kv.NewRespctStore(rt, 0, cfg.Buckets)
+			st, err := kv.NewRespctStoreOpts(rt, 0, cfg.storeOptions())
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			// Make the empty store durable, then leave every worker's
-			// allow window open: pool workers only close it around an
-			// operation on this specific shard (see Store).
-			for w := 0; w < cfg.Workers; w++ {
+			// Make the empty store durable, then leave every runtime
+			// thread's allow window open (workers and, in structures mode,
+			// the sweeper): pool workers only close it around an operation
+			// on this specific shard (see Store).
+			for w := 0; w < cfg.rtThreads(); w++ {
 				rt.Thread(w).CheckpointAllow()
 			}
 			rt.Checkpoint()
@@ -236,12 +266,12 @@ func Recover(cfg Config, heaps []*pmem.Heap) (*Pool, *RecoveryReport, error) {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
 				return
 			}
-			st, err := kv.OpenRespctStore(rt, 0)
+			st, err := kv.OpenRespctStoreOpts(rt, 0, cfg.storeOptions())
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
 				return
 			}
-			for w := 0; w < cfg.Workers; w++ {
+			for w := 0; w < cfg.rtThreads(); w++ {
 				rt.Thread(w).CheckpointAllow()
 			}
 			rep.PerShard[i] = *r
@@ -329,11 +359,32 @@ func (p *Pool) Start() {
 	}()
 }
 
-// checkpointShard checkpoints one live shard and records the pause.
+// clockNow reads the structures clock (wall clock unless Config.Clock).
+func (p *Pool) clockNow() uint64 {
+	if p.cfg.Clock != nil {
+		return p.cfg.Clock()
+	}
+	return uint64(time.Now().UnixMilli())
+}
+
+// checkpointShard checkpoints one live shard and records the pause. In
+// structures mode the expiry sweep runs first, on the sweeper's dedicated
+// thread slot under its own prevent window: every record due at the epoch
+// boundary is unlinked inside the epoch the checkpoint is about to cut, so
+// a completed checkpoint never captures (and recovery never resurrects) a
+// record past its deadline.
 func (p *Pool) checkpointShard(i int) {
 	sh := p.shards[i]
 	if sh.Heap.Crashed() {
 		return
+	}
+	if p.cfg.Structures {
+		sw := p.cfg.sweeperThread()
+		t := sh.RT.Thread(sw)
+		t.CheckpointPrevent(nil)
+		sh.KV.SweepExpired(sw, p.clockNow())
+		sh.KV.PerOp(sw)
+		t.CheckpointAllow()
 	}
 	info := sh.RT.Checkpoint()
 	for {

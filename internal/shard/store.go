@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"strconv"
+
 	"github.com/respct/respct/internal/kv"
 )
 
@@ -76,12 +78,167 @@ func (s *Store) ThreadExit(th int) {
 	}
 }
 
+// Structures reports whether the pool's shards carry the multi-model
+// surface; kv.Server checks it to decide whether to expose the verbs.
+func (s *Store) Structures() bool { return s.p.cfg.Structures }
+
+// prevented runs f on key's shard inside th's checkpoint-prevent window,
+// with the per-op restart point placed before the window closes.
+func (s *Store) prevented(th int, key string, f func(sh *Shard)) {
+	sh := s.route(th, key)
+	t := sh.RT.Thread(th)
+	t.CheckpointPrevent(nil)
+	f(sh)
+	sh.KV.PerOp(th)
+	t.CheckpointAllow()
+}
+
+// Scan implements kv.StructOps: every shard scans its partition of the key
+// space under its own prevent window, then the sorted per-shard runs merge
+// to the first limit entries. Each shard's run is individually consistent;
+// the fan-out as a whole is not one atomic cut across shards (exactly like
+// a MULTI batch, cross-shard reads have no single point in time).
+func (s *Store) Scan(th int, from, to string, limit int) []kv.Entry {
+	if !s.p.cfg.Structures {
+		return nil
+	}
+	runs := make([][]kv.Entry, len(s.p.shards))
+	for i, sh := range s.p.shards {
+		t := sh.RT.Thread(th)
+		t.CheckpointPrevent(nil)
+		runs[i] = sh.KV.Scan(th, from, to, limit)
+		sh.KV.PerOp(th)
+		t.CheckpointAllow()
+	}
+	return mergeRuns(runs, limit)
+}
+
+// mergeRuns merges sorted per-shard scan runs into the first limit entries
+// of the global order (limit <= 0 means unbounded).
+func mergeRuns(runs [][]kv.Entry, limit int) []kv.Entry {
+	var out []kv.Entry
+	for limit <= 0 || len(out) < limit {
+		best := -1
+		for i, r := range runs {
+			if len(r) == 0 {
+				continue
+			}
+			if best == -1 || r[0].Key < runs[best][0].Key {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, runs[best][0])
+		runs[best] = runs[best][1:]
+	}
+	return out
+}
+
+// QPush implements kv.StructOps, routing the queue by its name.
+func (s *Store) QPush(th int, name string, value []byte) error {
+	if !s.p.cfg.Structures {
+		return kv.ErrStructuresDisabled
+	}
+	var err error
+	s.prevented(th, name, func(sh *Shard) { err = sh.KV.QPush(th, name, value) })
+	return err
+}
+
+// QPop implements kv.StructOps.
+func (s *Store) QPop(th int, name string) ([]byte, bool, error) {
+	if !s.p.cfg.Structures {
+		return nil, false, kv.ErrStructuresDisabled
+	}
+	var (
+		v   []byte
+		ok  bool
+		err error
+	)
+	s.prevented(th, name, func(sh *Shard) { v, ok, err = sh.KV.QPop(th, name) })
+	return v, ok, err
+}
+
+// LAppend implements kv.StructOps, routing the log by its name.
+func (s *Store) LAppend(th int, name string, record []byte) (uint64, error) {
+	if !s.p.cfg.Structures {
+		return 0, kv.ErrStructuresDisabled
+	}
+	var (
+		idx uint64
+		err error
+	)
+	s.prevented(th, name, func(sh *Shard) { idx, err = sh.KV.LAppend(th, name, record) })
+	return idx, err
+}
+
+// LRange implements kv.StructOps.
+func (s *Store) LRange(th int, name string, from uint64, count uint32) ([][]byte, error) {
+	if !s.p.cfg.Structures {
+		return nil, kv.ErrStructuresDisabled
+	}
+	var (
+		recs [][]byte
+		err  error
+	)
+	s.prevented(th, name, func(sh *Shard) { recs, err = sh.KV.LRange(th, name, from, count) })
+	return recs, err
+}
+
+// Expire implements kv.StructOps.
+func (s *Store) Expire(th int, key string, ms uint64) bool {
+	if !s.p.cfg.Structures {
+		return false
+	}
+	var ok bool
+	s.prevented(th, key, func(sh *Shard) { ok = sh.KV.Expire(th, key, ms) })
+	return ok
+}
+
+// TTL implements kv.StructOps.
+func (s *Store) TTL(th int, key string) (uint64, bool) {
+	if !s.p.cfg.Structures {
+		return 0, false
+	}
+	var (
+		ms uint64
+		ok bool
+	)
+	s.prevented(th, key, func(sh *Shard) { ms, ok = sh.KV.TTL(th, key) })
+	return ms, ok
+}
+
+// BatchShard implements kv.Batcher: the shard an atomic batch keyed by key
+// must execute on.
+func (s *Store) BatchShard(key string) int { return s.p.ShardFor(key) }
+
+// Batch implements kv.Batcher: f runs against shard si's store inside one
+// checkpoint-prevent window on th, so the whole batch lands in a single
+// epoch — a crash either keeps it all or rolls it all back. Per-op restart
+// points inside f (the store's PerOp) bound the undo cells held at once.
+func (s *Store) Batch(th, si int, f func(st kv.Store)) {
+	sh := s.p.shards[si]
+	t := sh.RT.Thread(th)
+	t.CheckpointPrevent(nil)
+	f(sh.KV)
+	t.CheckpointAllow()
+	if s.p.ops != nil {
+		s.p.ops[si].Inc(th)
+	}
+}
+
 // SnapshotLogical merges every shard's logical contents (test/soak helper;
-// callers must ensure quiescence).
+// callers must ensure quiescence). Structure pseudo-keys (the NUL-prefixed
+// ordered-index/queue/log entries of kv.RespctStore.SnapshotLogical) are
+// namespaced by shard index so shards cannot clobber each other's.
 func (s *Store) SnapshotLogical() map[string]string {
 	out := make(map[string]string)
 	for _, sh := range s.p.shards {
 		for k, v := range sh.KV.SnapshotLogical() {
+			if len(k) > 0 && k[0] == 0 {
+				k = "\x00" + strconv.Itoa(sh.Index) + ":" + k[1:]
+			}
 			out[k] = v
 		}
 	}
@@ -89,4 +246,8 @@ func (s *Store) SnapshotLogical() map[string]string {
 }
 
 // interface compliance
-var _ kv.Store = (*Store)(nil)
+var (
+	_ kv.Store     = (*Store)(nil)
+	_ kv.StructOps = (*Store)(nil)
+	_ kv.Batcher   = (*Store)(nil)
+)

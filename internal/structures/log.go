@@ -75,6 +75,41 @@ func OpenRespctLog(rt *core.Runtime, rootIdx int) (*RespctLog, error) {
 	return l, nil
 }
 
+// NewRespctLogAt creates an empty log descriptor with worker thread th and
+// does NOT publish it to a root: the caller must link Desc() into a
+// reachable, logged location in the same epoch (the server's named-structure
+// directory does), or the allocation rolls back with the epoch and the log
+// never existed.
+func NewRespctLogAt(rt *core.Runtime, th int) (*RespctLog, error) {
+	t := rt.Thread(th)
+	desc := rt.Arena().Alloc(t, logDescCells, 1)
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: heap exhausted allocating log descriptor")
+	}
+	seg := rt.Arena().AllocRaw(t, logSegHeaderWords+logSegPayloadWords)
+	if seg == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: heap exhausted allocating log segment")
+	}
+	t.StoreTracked(seg, 0) // next = nil
+	t.Init(core.Cell(desc, 0), 0)
+	t.Init(core.Cell(desc, 1), 0)
+	t.Init(core.Cell(desc, 2), uint64(seg))
+	t.StoreTracked(core.RawBase(desc, logDescCells), uint64(seg))
+	return &RespctLog{rt: rt, desc: desc, tailSeg: seg}, nil
+}
+
+// OpenRespctLogAt reattaches to the log descriptor at desc (recovered from a
+// directory rather than a root slot).
+func OpenRespctLogAt(rt *core.Runtime, desc pmem.Addr) *RespctLog {
+	l := &RespctLog{rt: rt, desc: desc}
+	l.tailSeg = rt.ReadAddr(core.Cell(desc, 2))
+	return l
+}
+
+// Desc returns the log's descriptor address, the handle a directory links to
+// make an unpublished log durable.
+func (l *RespctLog) Desc() pmem.Addr { return l.desc }
+
 func (l *RespctLog) countCell() core.InCLL { return core.Cell(l.desc, 0) }
 func (l *RespctLog) offCell() core.InCLL   { return core.Cell(l.desc, 1) }
 func (l *RespctLog) tailCell() core.InCLL  { return core.Cell(l.desc, 2) }
@@ -134,13 +169,27 @@ func (l *RespctLog) Len() uint64 {
 // ForEach calls fn with each record in append order until fn returns false.
 // It holds the log's mutex for the duration.
 func (l *RespctLog) ForEach(fn func(i uint64, record []byte) bool) {
+	l.Range(0, ^uint64(0), fn)
+}
+
+// Range calls fn with each record whose index i satisfies from <= i and
+// i < from+count, in append order, until fn returns false — the read path of
+// the server's LRANGE. Indices are stable: records are append-only and never
+// compacted. It walks the segment chain from the head (records before from
+// are skipped by their length words without materialising them) and holds
+// the log's mutex for the duration, so fn observes an atomic prefix.
+func (l *RespctLog) Range(from, count uint64, fn func(i uint64, record []byte) bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	h := l.rt.Heap()
-	count := l.rt.Read(l.countCell())
+	total := l.rt.Read(l.countCell())
+	end := from + count
+	if count > total || end > total { // also catches from+count overflow
+		end = total
+	}
 	seg := pmem.Addr(h.Load64(l.headAddr()))
 	off := 0
-	for i := uint64(0); i < count; i++ {
+	for i := uint64(0); i < end; i++ {
 		// Advance past exhausted segments (explicit end markers, or no
 		// room left for even a length word).
 		for off >= logSegPayloadWords || h.Load64(segPayload(seg)+pmem.Addr(off*8)) == logSegEndMarker {
@@ -149,9 +198,10 @@ func (l *RespctLog) ForEach(fn func(i uint64, record []byte) bool) {
 		}
 		base := segPayload(seg) + pmem.Addr(off*8)
 		n := int(h.Load64(base))
-		rec := h.LoadBytes(base+8, n)
-		if !fn(i, rec) {
-			return
+		if i >= from {
+			if !fn(i, h.LoadBytes(base+8, n)) {
+				return
+			}
 		}
 		off += 1 + (n+7)/8
 	}
@@ -162,3 +212,12 @@ func (l *RespctLog) PerOp(th int) { l.rt.Thread(th).RP(rpLogOp) }
 
 // ThreadExit marks worker th finished.
 func (l *RespctLog) ThreadExit(th int) { l.rt.Thread(th).CheckpointAllow() }
+
+// Close releases every runtime thread slot (idempotent CheckpointAllow per
+// thread, consistent with ThreadExit) so a checkpoint can never stall on a
+// closed log's former workers.
+func (l *RespctLog) Close() {
+	for i := 0; i < l.rt.Threads(); i++ {
+		l.rt.Thread(i).CheckpointAllow()
+	}
+}

@@ -1,0 +1,99 @@
+package structures
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReopenAfterClose is the regression test for the Close() thread-slot
+// fix: Close must leave every runtime thread's allow window open (so a
+// checkpoint cannot stall on a closed structure's former workers) while the
+// persistent state stays reachable — Open* on the same roots reattaches and
+// the contents survive, including across a post-Close checkpoint.
+func TestReopenAfterClose(t *testing.T) {
+	rt := newRespctFixture(t, 3, 0)
+
+	q, err := NewRespctQueue(rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := NewRespctSkipList(rt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssl, err := NewRespctStrSkipList(rt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := NewRespctLog(rt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 16; i++ {
+		q.Enqueue(1, i)
+		q.PerOp(1)
+		sl.Insert(2, i, i*10)
+		sl.PerOp(2)
+	}
+	ssl.Insert(1, "alpha", 1)
+	ssl.Insert(1, "beta", 2)
+	lg.Append(2, []byte("rec-0"))
+
+	// Close with threads 1 and 2 mid-work (allow windows shut). A checkpoint
+	// right after Close must not stall: Close released every slot.
+	q.Close()
+	sl.Close()
+	ssl.Close()
+	lg.Close()
+	done := make(chan struct{})
+	go func() {
+		rt.Checkpoint()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("checkpoint stalled after Close: thread slots not released")
+	}
+
+	// Reopen on the same roots: contents intact, structures usable again.
+	// Thread 0 re-enters a prevent window for the post-reopen mutations.
+	rt.Thread(0).CheckpointPrevent(nil)
+	q2, err := OpenRespctQueue(rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := q2.Len(); n != 16 {
+		t.Fatalf("reopened queue has %d elements, want 16", n)
+	}
+	if v, ok := q2.Dequeue(0); !ok || v != 1 {
+		t.Fatalf("reopened queue Dequeue = %d,%v", v, ok)
+	}
+	sl2, err := OpenRespctSkipList(rt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sl2.Get(0, 7); !ok || v != 70 {
+		t.Fatalf("reopened skiplist Get(7) = %d,%v", v, ok)
+	}
+	ssl2, err := OpenRespctStrSkipList(rt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := ssl2.Snapshot()
+	if len(keys) != 2 || keys[0] != "alpha" || keys[1] != "beta" || vals[1] != 2 {
+		t.Fatalf("reopened string skiplist snapshot = %v %v", keys, vals)
+	}
+	lg2, err := OpenRespctLog(rt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg2.Len() != 1 {
+		t.Fatalf("reopened log has %d records, want 1", lg2.Len())
+	}
+	if idx := lg2.Append(0, []byte("rec-1")); idx != 1 {
+		t.Fatalf("append after reopen returned index %d, want 1", idx)
+	}
+	q2.ThreadExit(0)
+	lg2.ThreadExit(0)
+}

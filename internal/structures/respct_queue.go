@@ -52,6 +52,32 @@ func OpenRespctQueue(rt *core.Runtime, rootIdx int) (*RespctQueue, error) {
 	return &RespctQueue{rt: rt, desc: desc, head: core.Cell(desc, 0), tail: core.Cell(desc, 1)}, nil
 }
 
+// NewRespctQueueAt creates an empty queue descriptor with worker thread th
+// and does NOT publish it to a root: the caller must link Desc() into a
+// reachable, logged location in the same epoch (the server's named-structure
+// directory does), or the allocation rolls back with the epoch and the queue
+// never existed.
+func NewRespctQueueAt(rt *core.Runtime, th int) (*RespctQueue, error) {
+	t := rt.Thread(th)
+	desc := rt.Arena().AllocCells(t, 2)
+	if desc == pmem.NilAddr {
+		return nil, fmt.Errorf("structures: heap exhausted allocating queue descriptor")
+	}
+	t.Init(core.Cell(desc, 0), 0)
+	t.Init(core.Cell(desc, 1), 0)
+	return &RespctQueue{rt: rt, desc: desc, head: core.Cell(desc, 0), tail: core.Cell(desc, 1)}, nil
+}
+
+// OpenRespctQueueAt reattaches to the queue descriptor at desc (recovered
+// from a directory rather than a root slot).
+func OpenRespctQueueAt(rt *core.Runtime, desc pmem.Addr) *RespctQueue {
+	return &RespctQueue{rt: rt, desc: desc, head: core.Cell(desc, 0), tail: core.Cell(desc, 1)}
+}
+
+// Desc returns the queue's descriptor address, the handle a directory links
+// to make an unpublished queue durable.
+func (q *RespctQueue) Desc() pmem.Addr { return q.desc }
+
 func (q *RespctQueue) nodeNext(n pmem.Addr) core.InCLL { return core.Cell(n, 0) }
 func (q *RespctQueue) nodeVal(n pmem.Addr) pmem.Addr   { return core.RawBase(n, qNodeCells) }
 
@@ -102,8 +128,15 @@ func (q *RespctQueue) PerOp(th int) { q.rt.Thread(th).RP(rpQueueOp) }
 // ThreadExit implements Queue.
 func (q *RespctQueue) ThreadExit(th int) { q.rt.Thread(th).CheckpointAllow() }
 
-// Close implements Queue.
-func (q *RespctQueue) Close() {}
+// Close implements Queue: it releases every runtime thread slot (idempotent
+// CheckpointAllow per thread, consistent with ThreadExit) so a checkpoint can
+// never stall on a closed queue's former workers. The persistent state stays
+// intact — OpenRespctQueue on the same root reattaches to it.
+func (q *RespctQueue) Close() {
+	for i := 0; i < q.rt.Threads(); i++ {
+		q.rt.Thread(i).CheckpointAllow()
+	}
+}
 
 // Len counts queued elements (test helper).
 func (q *RespctQueue) Len() int {

@@ -11,14 +11,22 @@ import (
 // SortedMap is an ordered map of 8-byte keys to 8-byte values with range
 // scans. Key 0 is reserved.
 type SortedMap interface {
+	// Insert adds or overwrites key and reports whether it was absent.
 	Insert(th int, key, value uint64) bool
+	// Remove deletes key and reports whether it was present.
 	Remove(th int, key uint64) bool
+	// Get returns the value stored under key.
 	Get(th int, key uint64) (uint64, bool)
 	// Scan calls fn for each pair with from <= key <= to in ascending key
 	// order until fn returns false.
 	Scan(th int, from, to uint64, fn func(key, value uint64) bool)
+	// PerOp is called by drivers once per completed operation; persistent
+	// flavours place their restart point here.
 	PerOp(th int)
+	// ThreadExit marks worker th as finished so checkpoints no longer
+	// wait for it.
 	ThreadExit(th int)
+	// Close releases background machinery and runtime thread slots.
 	Close()
 }
 
@@ -220,8 +228,16 @@ func (s *RespctSkipList) PerOp(th int) { s.rt.Thread(th).RP(rpSkipOp) }
 // ThreadExit implements SortedMap.
 func (s *RespctSkipList) ThreadExit(th int) { s.rt.Thread(th).CheckpointAllow() }
 
-// Close implements SortedMap.
-func (s *RespctSkipList) Close() {}
+// Close implements SortedMap: it releases every runtime thread slot
+// (idempotent CheckpointAllow per thread, consistent with ThreadExit) so a
+// checkpoint can never stall on a closed skiplist's former workers. The
+// persistent state stays intact — OpenRespctSkipList on the same root
+// reattaches to it.
+func (s *RespctSkipList) Close() {
+	for i := 0; i < s.rt.Threads(); i++ {
+		s.rt.Thread(i).CheckpointAllow()
+	}
+}
 
 // Snapshot returns the contents in ascending key order (test helper).
 func (s *RespctSkipList) Snapshot() ([]uint64, []uint64) {

@@ -1,9 +1,16 @@
-// Package structures provides the two concurrent data structures the paper
+//respct:exportdoc
+
+// Package structures provides the concurrent data structures the paper
 // evaluates — a lock-based FIFO queue and a hash map with one lock per
-// bucket (§5.1) — in several flavours: transient on DRAM, transient on NVMM,
-// persistent with ResPCT, and adapters over the baseline systems. All
-// flavours share the Map and Queue interfaces so the benchmark harness can
-// drive them interchangeably.
+// bucket (§5.1) — plus the ordered and append-only structures the server's
+// multi-model surface is built on (skiplists for range scans, a record log
+// for streams), in several flavours: transient on DRAM, transient on NVMM,
+// persistent with ResPCT, and adapters over the baseline systems. The map
+// and queue flavours share the Map and Queue interfaces so the benchmark
+// harness can drive them interchangeably; the persistent flavours all ride
+// the same InCLL undo machinery, so every mutation is a handful of logged
+// cell updates over write-once RAW payloads and a crashed epoch rolls back
+// atomically (see docs/COMMANDS.md for the per-command durability schemes).
 package structures
 
 // Map is a concurrent hash map of 8-byte keys to 8-byte values. th is the
@@ -29,10 +36,17 @@ type Map interface {
 // Queue is a concurrent FIFO of 8-byte values with the same threading
 // conventions as Map.
 type Queue interface {
+	// Enqueue appends v at the tail.
 	Enqueue(th int, v uint64)
+	// Dequeue removes and returns the head value, or false when empty.
 	Dequeue(th int) (uint64, bool)
+	// PerOp is called by drivers once per completed operation; persistent
+	// flavours place their restart point here.
 	PerOp(th int)
+	// ThreadExit marks worker th as finished so checkpoints no longer
+	// wait for it.
 	ThreadExit(th int)
+	// Close releases background machinery and runtime thread slots.
 	Close()
 }
 

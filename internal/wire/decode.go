@@ -9,11 +9,12 @@ import (
 // decoding frame's payload buffer: they are valid until the frame's next
 // Decode and must be copied to be retained.
 type Op struct {
-	// Code is the operation's opcode (OpGet, OpSet or OpDelete).
+	// Code is the operation's opcode (OpGet .. OpTTL).
 	Code byte
 	// Key aliases the frame's payload buffer.
 	Key []byte
-	// Value aliases the frame's payload buffer; empty unless Code is OpSet.
+	// Value aliases the frame's payload buffer; empty unless Code carries a
+	// value (see the opcode docs).
 	Value []byte
 }
 
@@ -21,11 +22,13 @@ type Op struct {
 // across frames. The zero value is ready; a frame is loaded with Decode
 // and iterated with Next.
 type ReqFrame struct {
-	hdr  [HeaderLen]byte
-	buf  []byte // payload, reused
-	ops  int    // ops in the loaded frame
-	next int    // ops already handed out
-	pos  int    // payload cursor
+	hdr   [HeaderLen]byte
+	buf   []byte // payload, reused
+	ops   int    // ops in the loaded frame
+	next  int    // ops already handed out
+	pos   int    // payload cursor
+	ver   byte   // loaded frame's version
+	flags uint16 // loaded frame's flags
 }
 
 // grow returns buf resized to n bytes, reallocating only when capacity is
@@ -43,11 +46,11 @@ func grow(buf []byte, n int) []byte {
 // any error the previous frame's contents are gone and the stream must be
 // considered desynchronized.
 func (f *ReqFrame) Decode(r io.Reader) error {
-	f.ops, f.next, f.pos = 0, 0, 0
+	f.ops, f.next, f.pos, f.ver, f.flags = 0, 0, 0, 0, 0
 	if _, err := io.ReadFull(r, f.hdr[:]); err != nil {
 		return err
 	}
-	payload, ops, err := checkHeader(f.hdr[:], MagicRequest)
+	payload, ops, ver, flags, err := checkHeader(f.hdr[:], MagicRequest)
 	if err != nil {
 		return err
 	}
@@ -58,7 +61,7 @@ func (f *ReqFrame) Decode(r io.Reader) error {
 		}
 		return err
 	}
-	f.ops = ops
+	f.ops, f.ver, f.flags = ops, ver, flags
 	return nil
 }
 
@@ -68,10 +71,22 @@ func (f *ReqFrame) Ops() int { return f.ops }
 // Len returns the loaded frame's full wire size, header included.
 func (f *ReqFrame) Len() int { return HeaderLen + len(f.buf) }
 
+// Version returns the loaded frame's protocol version.
+func (f *ReqFrame) Version() byte { return f.ver }
+
+// Atomic reports whether the loaded frame carries FlagAtomic.
+func (f *ReqFrame) Atomic() bool { return f.flags&FlagAtomic != 0 }
+
+// Rewind resets the op cursor so the loaded frame can be iterated again —
+// the server pre-validates an atomic frame's keys in one pass, then rewinds
+// and executes in a second.
+func (f *ReqFrame) Rewind() { f.next, f.pos = 0, 0 }
+
 // Next decodes the next operation. It validates the op header against the
-// payload bounds and the protocol limits; after an error the frame must be
-// discarded. Calling Next more than Ops() times panics — the caller drives
-// the loop with Ops().
+// payload bounds, the protocol limits, and the frame version's opcode set
+// (v1 frames may carry only OpGet/OpSet/OpDelete); after an error the frame
+// must be discarded. Calling Next more than Ops() times panics — the caller
+// drives the loop with Ops().
 func (f *ReqFrame) Next() (Op, error) {
 	if f.next >= f.ops {
 		panic("wire: Next past the frame's op count")
@@ -87,11 +102,27 @@ func (f *ReqFrame) Next() (Op, error) {
 	if h[1] != 0 || kl > MaxKeyLen || vl > MaxValueLen {
 		return Op{}, fmt.Errorf("%w: op %d key %d value %d", ErrTooBig, f.next-1, kl, vl)
 	}
+	if f.ver < 2 && code > OpDelete {
+		return Op{}, fmt.Errorf("%w: 0x%02x in a v1 frame", ErrOpcode, code)
+	}
 	switch code {
-	case OpSet:
-	case OpGet, OpDelete:
+	case OpSet, OpQPush, OpLAppend:
+	case OpGet, OpDelete, OpQPop, OpTTL:
 		if vl != 0 {
 			return Op{}, fmt.Errorf("%w: opcode 0x%02x carries a value", ErrOpcode, code)
+		}
+	case OpScan:
+		// value = [u32 limit][end-key]; the end key obeys the key bound.
+		if vl < 4 || vl-4 > MaxKeyLen {
+			return Op{}, fmt.Errorf("%w: OpScan value length %d", ErrOpcode, vl)
+		}
+	case OpLRange:
+		if vl != 12 {
+			return Op{}, fmt.Errorf("%w: OpLRange value length %d (want 12)", ErrOpcode, vl)
+		}
+	case OpExpire:
+		if vl != 8 {
+			return Op{}, fmt.Errorf("%w: OpExpire value length %d (want 8)", ErrOpcode, vl)
 		}
 	default:
 		return Op{}, fmt.Errorf("%w: 0x%02x", ErrOpcode, code)
@@ -109,15 +140,34 @@ func (f *ReqFrame) Next() (Op, error) {
 	return Op{Code: code, Key: key, Value: val}, nil
 }
 
+// ScanArgs unpacks an OpScan operation's value into its limit and end key
+// (both alias the op's Value slice lifetime).
+func (op Op) ScanArgs() (limit uint32, to []byte) {
+	return le32(op.Value), op.Value[4:]
+}
+
+// LRangeArgs unpacks an OpLRange operation's value.
+func (op Op) LRangeArgs() (from uint64, count uint32) {
+	return le64(op.Value), le32(op.Value[8:])
+}
+
+// ExpireArgs unpacks an OpExpire operation's value (milliseconds; zero
+// clears the TTL).
+func (op Op) ExpireArgs() (ms uint64) { return le64(op.Value) }
+
 // Result is one decoded response entry. Value aliases the frame's payload
 // buffer under the same lifetime rules as Op.
 type Result struct {
 	// Status is the result's status code (StatusStored, StatusValue, ...).
 	Status byte
-	// Value aliases the frame's payload buffer; empty unless Status is
-	// StatusValue.
+	// Value aliases the frame's payload buffer; empty unless Status carries
+	// a value (StatusValue, StatusEntries, StatusAppended, StatusTTL).
 	Value []byte
 }
+
+// U64 decodes the result's 8-byte value (StatusAppended's index,
+// StatusTTL's milliseconds).
+func (r Result) U64() uint64 { return le64(r.Value) }
 
 // RespFrame decodes response frames, mirroring ReqFrame.
 type RespFrame struct {
@@ -126,16 +176,17 @@ type RespFrame struct {
 	ops  int
 	next int
 	pos  int
+	ver  byte
 }
 
 // Decode reads and validates one full response frame (see
 // ReqFrame.Decode for the error contract).
 func (f *RespFrame) Decode(r io.Reader) error {
-	f.ops, f.next, f.pos = 0, 0, 0
+	f.ops, f.next, f.pos, f.ver = 0, 0, 0, 0
 	if _, err := io.ReadFull(r, f.hdr[:]); err != nil {
 		return err
 	}
-	payload, ops, err := checkHeader(f.hdr[:], MagicResponse)
+	payload, ops, ver, _, err := checkHeader(f.hdr[:], MagicResponse)
 	if err != nil {
 		return err
 	}
@@ -146,7 +197,7 @@ func (f *RespFrame) Decode(r io.Reader) error {
 		}
 		return err
 	}
-	f.ops = ops
+	f.ops, f.ver = ops, ver
 	return nil
 }
 
@@ -156,7 +207,11 @@ func (f *RespFrame) Ops() int { return f.ops }
 // Len returns the loaded frame's full wire size, header included.
 func (f *RespFrame) Len() int { return HeaderLen + len(f.buf) }
 
-// Next decodes the next result (see ReqFrame.Next for the contract).
+// Version returns the loaded frame's protocol version.
+func (f *RespFrame) Version() byte { return f.ver }
+
+// Next decodes the next result (see ReqFrame.Next for the contract; v1
+// frames may carry only the v1 statuses).
 func (f *RespFrame) Next() (Result, error) {
 	if f.next >= f.ops {
 		panic("wire: Next past the frame's result count")
@@ -171,9 +226,17 @@ func (f *RespFrame) Next() (Result, error) {
 	if h[1] != 0 || h[2] != 0 || h[3] != 0 || vl > MaxValueLen {
 		return Result{}, fmt.Errorf("%w: result %d value %d", ErrTooBig, f.next-1, vl)
 	}
+	if f.ver < 2 && status > StatusTooLarge {
+		return Result{}, fmt.Errorf("%w: 0x%02x in a v1 frame", ErrStatus, status)
+	}
 	switch status {
-	case StatusValue:
-	case StatusStored, StatusNotFound, StatusDeleted, StatusTooLarge:
+	case StatusValue, StatusEntries:
+	case StatusAppended, StatusTTL:
+		if vl != 8 {
+			return Result{}, fmt.Errorf("%w: status 0x%02x value length %d (want 8)", ErrStatus, status, vl)
+		}
+	case StatusStored, StatusNotFound, StatusDeleted, StatusTooLarge,
+		StatusEmpty, StatusWrongType, StatusRefused:
 		if vl != 0 {
 			return Result{}, fmt.Errorf("%w: status 0x%02x carries a value", ErrStatus, status)
 		}

@@ -1,22 +1,32 @@
 package wire
 
+import "fmt"
+
 // ReqBuilder assembles one request frame into a buffer it owns and reuses.
 // The zero value is ready to use: call the op methods, then Bytes, then
 // Reset to start the next frame. No op method allocates once the buffer has
-// grown to the working frame size.
+// grown to the working frame size. Frames are emitted at the newest Version;
+// use the plain Get/Set/Delete subset to stay v1-compatible in content, but
+// the header still says 2 — peers negotiate down by speaking v1 themselves.
 type ReqBuilder struct {
-	buf []byte
-	ops int
+	buf    []byte
+	ops    int
+	atomic bool
 }
 
 // Reset discards the frame under construction, keeping the buffer.
 func (b *ReqBuilder) Reset() {
 	b.buf = b.buf[:0]
 	b.ops = 0
+	b.atomic = false
 }
 
 // Ops returns the number of operations added since the last Reset.
 func (b *ReqBuilder) Ops() int { return b.ops }
+
+// SetAtomic marks the frame atomic (FlagAtomic): the server executes it as
+// one all-or-nothing multi-key batch within a shard, or refuses it whole.
+func (b *ReqBuilder) SetAtomic() { b.atomic = true }
 
 // header lazily appends the 12-byte header placeholder on the first op.
 func (b *ReqBuilder) header() {
@@ -45,39 +55,106 @@ func (b *ReqBuilder) Set(key string, value []byte) { b.op(OpSet, key, value) }
 // Delete appends an OpDelete for key.
 func (b *ReqBuilder) Delete(key string) { b.op(OpDelete, key, nil) }
 
+// Scan appends an OpScan over [from, to] returning at most limit entries
+// (an empty to means unbounded).
+func (b *ReqBuilder) Scan(from, to string, limit uint32) {
+	b.header()
+	b.buf = append(b.buf, OpScan, 0, byte(len(from)), byte(len(from)>>8))
+	b.buf = put32(b.buf, uint32(4+len(to)))
+	b.buf = append(b.buf, from...)
+	b.buf = put32(b.buf, limit)
+	b.buf = append(b.buf, to...)
+	b.ops++
+}
+
+// QPush appends an OpQPush of value onto the named queue.
+func (b *ReqBuilder) QPush(name string, value []byte) { b.op(OpQPush, name, value) }
+
+// QPop appends an OpQPop on the named queue.
+func (b *ReqBuilder) QPop(name string) { b.op(OpQPop, name, nil) }
+
+// LAppend appends an OpLAppend of record onto the named log.
+func (b *ReqBuilder) LAppend(name string, record []byte) { b.op(OpLAppend, name, record) }
+
+// LRange appends an OpLRange reading count records of the named log starting
+// at index from.
+func (b *ReqBuilder) LRange(name string, from uint64, count uint32) {
+	b.header()
+	b.buf = append(b.buf, OpLRange, 0, byte(len(name)), byte(len(name)>>8))
+	b.buf = put32(b.buf, 12)
+	b.buf = append(b.buf, name...)
+	b.buf = put64(b.buf, from)
+	b.buf = put32(b.buf, count)
+	b.ops++
+}
+
+// Expire appends an OpExpire setting key's TTL to ms milliseconds from now
+// (zero clears the TTL).
+func (b *ReqBuilder) Expire(key string, ms uint64) {
+	b.header()
+	b.buf = append(b.buf, OpExpire, 0, byte(len(key)), byte(len(key)>>8))
+	b.buf = put32(b.buf, 8)
+	b.buf = append(b.buf, key...)
+	b.buf = put64(b.buf, ms)
+	b.ops++
+}
+
+// TTL appends an OpTTL for key.
+func (b *ReqBuilder) TTL(key string) { b.op(OpTTL, key, nil) }
+
 // Bytes patches the header and returns the complete frame. The slice aliases
 // the builder's buffer: it is valid until the next op method or Reset.
 // Calling Bytes on an empty builder returns a valid zero-op frame.
 func (b *ReqBuilder) Bytes() []byte {
 	b.header()
+	if b.atomic {
+		b.buf[2] = FlagAtomic & 0xFF
+	} else {
+		b.buf[2] = 0
+	}
 	patch32(b.buf, 4, uint32(len(b.buf)-HeaderLen))
 	patch32(b.buf, 8, uint32(b.ops))
 	return b.buf
 }
 
-// RespBuilder assembles one response frame, mirroring ReqBuilder.
+// RespBuilder assembles one response frame, mirroring ReqBuilder. The
+// response's version byte echoes the request's (SetVersion); v1 requests can
+// only elicit v1 statuses, so echoing the version keeps every reply
+// decodable by the peer that asked.
 type RespBuilder struct {
 	buf []byte
 	ops int
+	ver byte
 }
 
-// Reset discards the frame under construction, keeping the buffer.
+// Reset discards the frame under construction, keeping the buffer (and the
+// configured version).
 func (b *RespBuilder) Reset() {
 	b.buf = b.buf[:0]
 	b.ops = 0
 }
+
+// SetVersion sets the version byte of subsequently built frames, echoing the
+// request's negotiated version. Zero (the zero value) means the newest
+// Version. Calling it mid-frame is a bug; it applies from the next header.
+func (b *RespBuilder) SetVersion(v byte) { b.ver = v }
 
 // Ops returns the number of results added since the last Reset.
 func (b *RespBuilder) Ops() int { return b.ops }
 
 func (b *RespBuilder) header() {
 	if len(b.buf) == 0 {
-		b.buf = append(b.buf, MagicResponse, Version, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+		v := b.ver
+		if v == 0 {
+			v = Version
+		}
+		b.buf = append(b.buf, MagicResponse, v, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
 	}
 }
 
 // Status appends a value-less result (StatusStored, StatusNotFound,
-// StatusDeleted, StatusTooLarge).
+// StatusDeleted, StatusTooLarge, StatusEmpty, StatusWrongType,
+// StatusRefused).
 func (b *RespBuilder) Status(code byte) {
 	b.header()
 	b.buf = append(b.buf, code, 0, 0, 0, 0, 0, 0, 0)
@@ -93,6 +170,58 @@ func (b *RespBuilder) Value(value []byte) {
 	b.ops++
 }
 
+// Appended appends a StatusAppended result carrying the new record index.
+func (b *RespBuilder) Appended(index uint64) {
+	b.header()
+	b.buf = append(b.buf, StatusAppended, 0, 0, 0)
+	b.buf = put32(b.buf, 8)
+	b.buf = put64(b.buf, index)
+	b.ops++
+}
+
+// TTLms appends a StatusTTL result carrying the remaining milliseconds
+// (zero = no expiry).
+func (b *RespBuilder) TTLms(ms uint64) {
+	b.header()
+	b.buf = append(b.buf, StatusTTL, 0, 0, 0)
+	b.buf = put32(b.buf, 8)
+	b.buf = put64(b.buf, ms)
+	b.ops++
+}
+
+// BeginEntries opens a StatusEntries result; add entries with AddEntry and
+// close it with EndEntries. The builder keeps no per-entry state beyond the
+// blob's start offset, so the pattern stays allocation-free.
+func (b *RespBuilder) BeginEntries() (mark int) {
+	b.header()
+	b.buf = append(b.buf, StatusEntries, 0, 0, 0)
+	b.buf = put32(b.buf, 0) // value length, patched by EndEntries
+	mark = len(b.buf)
+	b.buf = put32(b.buf, 0) // entry count, patched by EndEntries
+	return mark
+}
+
+// AddEntry appends one entry (key may be empty — LRange entries carry record
+// bytes only) to an open StatusEntries result.
+func (b *RespBuilder) AddEntry(key string, value []byte) {
+	b.buf = append(b.buf, byte(len(key)), byte(len(key)>>8))
+	b.buf = put32(b.buf, uint32(len(value)))
+	b.buf = append(b.buf, key...)
+	b.buf = append(b.buf, value...)
+}
+
+// EntriesLen reports the current byte size of the entries blob opened at
+// mark — the server's truncation budget check.
+func (b *RespBuilder) EntriesLen(mark int) int { return len(b.buf) - mark }
+
+// EndEntries closes the StatusEntries result opened at mark with the final
+// entry count.
+func (b *RespBuilder) EndEntries(mark, count int) {
+	patch32(b.buf, mark-4, uint32(len(b.buf)-mark))
+	patch32(b.buf, mark, uint32(count))
+	b.ops++
+}
+
 // Bytes patches the header and returns the complete frame (see
 // ReqBuilder.Bytes for aliasing rules).
 func (b *RespBuilder) Bytes() []byte {
@@ -100,4 +229,34 @@ func (b *RespBuilder) Bytes() []byte {
 	patch32(b.buf, 4, uint32(len(b.buf)-HeaderLen))
 	patch32(b.buf, 8, uint32(b.ops))
 	return b.buf
+}
+
+// ParseEntries walks a StatusEntries blob, calling fn for each entry until
+// fn returns false. Key and value alias blob. It returns an error when the
+// blob's shape is inconsistent (a framing violation by the peer).
+func ParseEntries(blob []byte, fn func(key, value []byte) bool) error {
+	if len(blob) < 4 {
+		return fmt.Errorf("%w: entries blob of %d bytes", ErrTruncated, len(blob))
+	}
+	count := int(le32(blob))
+	pos := 4
+	for i := 0; i < count; i++ {
+		if pos+6 > len(blob) {
+			return fmt.Errorf("%w: entry %d header past blob end", ErrTruncated, i)
+		}
+		kl := int(le16(blob[pos:]))
+		vl := int(le32(blob[pos+2:]))
+		pos += 6
+		if kl > MaxKeyLen || vl > MaxValueLen || pos+kl+vl > len(blob) {
+			return fmt.Errorf("%w: entry %d body past blob end", ErrTruncated, i)
+		}
+		if !fn(blob[pos:pos+kl], blob[pos+kl:pos+kl+vl]) {
+			return nil
+		}
+		pos += kl + vl
+	}
+	if pos != len(blob) {
+		return fmt.Errorf("%w: %d trailing entry bytes", ErrTruncated, len(blob)-pos)
+	}
+	return nil
 }

@@ -44,7 +44,18 @@ func TestCorruptRequestFrames(t *testing.T) {
 		{"bad magic", func(f []byte) []byte { f[0] = 's'; return f }, ErrMagic},
 		{"response magic", func(f []byte) []byte { f[0] = MagicResponse; return f }, ErrMagic},
 		{"future version", func(f []byte) []byte { f[1] = 9; return f }, ErrVersion},
-		{"unknown flags", func(f []byte) []byte { f[2] = 0x01; return f }, ErrFlags},
+		{"version zero", func(f []byte) []byte { f[1] = 0; return f }, ErrVersion},
+		{"unknown flags", func(f []byte) []byte { f[2] = 0x02; return f }, ErrFlags},
+		{"atomic flag on a v1 frame", func(f []byte) []byte {
+			f[1] = 1
+			f[2] = FlagAtomic
+			return f
+		}, ErrFlags},
+		{"v2 opcode in a v1 frame", func(f []byte) []byte {
+			f[1] = 1
+			f[HeaderLen] = OpQPush // shape-compatible with op 0's SET, but v2-only
+			return f
+		}, ErrOpcode},
 		{"oversized payload length", func(f []byte) []byte {
 			patch32(f, 4, uint32(MaxPayload+1))
 			return f

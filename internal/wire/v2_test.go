@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestV2RequestRoundTrip encodes every v2 opcode and decodes it back,
+// including a Rewind re-iteration and the FlagAtomic bit.
+func TestV2RequestRoundTrip(t *testing.T) {
+	var b ReqBuilder
+	b.SetAtomic()
+	b.Scan("user000", "user999", 50)
+	b.QPush("jobs", []byte("job-payload"))
+	b.QPop("jobs")
+	b.LAppend("events", []byte("rec"))
+	b.LRange("events", 7, 3)
+	b.Expire("k", 1500)
+	b.TTL("k")
+	frame := b.Bytes()
+
+	var f ReqFrame
+	if err := f.Decode(bytes.NewReader(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != 2 || !f.Atomic() || f.Ops() != 7 {
+		t.Fatalf("version=%d atomic=%v ops=%d", f.Version(), f.Atomic(), f.Ops())
+	}
+	for pass := 0; pass < 2; pass++ {
+		op, err := f.Next()
+		if err != nil || op.Code != OpScan || string(op.Key) != "user000" {
+			t.Fatalf("pass %d scan op = %+v, %v", pass, op, err)
+		}
+		limit, to := op.ScanArgs()
+		if limit != 50 || string(to) != "user999" {
+			t.Fatalf("scan args = %d %q", limit, to)
+		}
+		op, err = f.Next()
+		if err != nil || op.Code != OpQPush || string(op.Key) != "jobs" || string(op.Value) != "job-payload" {
+			t.Fatalf("qpush op = %+v, %v", op, err)
+		}
+		op, err = f.Next()
+		if err != nil || op.Code != OpQPop || len(op.Value) != 0 {
+			t.Fatalf("qpop op = %+v, %v", op, err)
+		}
+		op, err = f.Next()
+		if err != nil || op.Code != OpLAppend || string(op.Value) != "rec" {
+			t.Fatalf("lappend op = %+v, %v", op, err)
+		}
+		op, err = f.Next()
+		if err != nil || op.Code != OpLRange {
+			t.Fatalf("lrange op = %+v, %v", op, err)
+		}
+		from, count := op.LRangeArgs()
+		if from != 7 || count != 3 {
+			t.Fatalf("lrange args = %d %d", from, count)
+		}
+		op, err = f.Next()
+		if err != nil || op.Code != OpExpire || op.ExpireArgs() != 1500 {
+			t.Fatalf("expire op = %+v, %v", op, err)
+		}
+		op, err = f.Next()
+		if err != nil || op.Code != OpTTL {
+			t.Fatalf("ttl op = %+v, %v", op, err)
+		}
+		f.Rewind()
+	}
+}
+
+// TestV2ResponseRoundTrip exercises the v2 statuses including a
+// StatusEntries blob and the version echo.
+func TestV2ResponseRoundTrip(t *testing.T) {
+	var b RespBuilder
+	mark := b.BeginEntries()
+	b.AddEntry("a", []byte("1"))
+	b.AddEntry("", []byte("record-two"))
+	b.EndEntries(mark, 2)
+	b.Appended(41)
+	b.TTLms(900)
+	b.Status(StatusEmpty)
+	b.Status(StatusWrongType)
+	b.Status(StatusRefused)
+	frame := b.Bytes()
+
+	var f RespFrame
+	if err := f.Decode(bytes.NewReader(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != 2 || f.Ops() != 6 {
+		t.Fatalf("version=%d ops=%d", f.Version(), f.Ops())
+	}
+	r, err := f.Next()
+	if err != nil || r.Status != StatusEntries {
+		t.Fatalf("entries result = %+v, %v", r, err)
+	}
+	var keys, vals []string
+	if err := ParseEntries(r.Value, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		vals = append(vals, string(v))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a" || vals[1] != "record-two" {
+		t.Fatalf("entries = %v %v", keys, vals)
+	}
+	if r, err = f.Next(); err != nil || r.Status != StatusAppended || r.U64() != 41 {
+		t.Fatalf("appended result = %+v, %v", r, err)
+	}
+	if r, err = f.Next(); err != nil || r.Status != StatusTTL || r.U64() != 900 {
+		t.Fatalf("ttl result = %+v, %v", r, err)
+	}
+	for _, want := range []byte{StatusEmpty, StatusWrongType, StatusRefused} {
+		if r, err = f.Next(); err != nil || r.Status != want {
+			t.Fatalf("status result = %+v, %v (want 0x%02x)", r, err, want)
+		}
+	}
+}
+
+// TestVersionEcho checks that a RespBuilder configured for v1 emits v1
+// headers and that v2-only statuses are rejected when decoded from a v1
+// frame.
+func TestVersionEcho(t *testing.T) {
+	var b RespBuilder
+	b.SetVersion(1)
+	b.Status(StatusStored)
+	var f RespFrame
+	if err := f.Decode(bytes.NewReader(b.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != 1 {
+		t.Fatalf("echoed version = %d, want 1", f.Version())
+	}
+
+	// A v1 frame smuggling a v2 status must be rejected.
+	b.Reset()
+	b.Status(StatusRefused)
+	frame := append([]byte(nil), b.Bytes()...)
+	if err := f.Decode(bytes.NewReader(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Next(); !errors.Is(err, ErrStatus) {
+		t.Fatalf("v2 status in v1 frame: err = %v, want ErrStatus", err)
+	}
+}
+
+// TestParseEntriesCorrupt pins the blob validation.
+func TestParseEntriesCorrupt(t *testing.T) {
+	var b RespBuilder
+	mark := b.BeginEntries()
+	b.AddEntry("k", []byte("v"))
+	b.EndEntries(mark, 1)
+	frame := b.Bytes()
+	var f RespFrame
+	if err := f.Decode(bytes.NewReader(frame)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := append([]byte(nil), r.Value...)
+	nop := func(k, v []byte) bool { return true }
+	if err := ParseEntries(blob[:2], nop); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short blob: %v", err)
+	}
+	over := append([]byte(nil), blob...)
+	over[0] = 9 // count says 9, body holds 1
+	if err := ParseEntries(over, nop); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overcount blob: %v", err)
+	}
+	trail := append(append([]byte(nil), blob...), 0xAA)
+	if err := ParseEntries(trail, nop); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("trailing blob bytes: %v", err)
+	}
+	if err := ParseEntries(blob, nop); err != nil {
+		t.Fatalf("valid blob: %v", err)
+	}
+}

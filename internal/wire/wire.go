@@ -10,25 +10,25 @@ import (
 //
 //	off size field
 //	0   1    magic (MagicRequest or MagicResponse)
-//	1   1    version (Version)
-//	2   2    flags (must be zero; unknown bits are rejected)
+//	1   1    version (VersionMin..Version)
+//	2   2    flags (FlagAtomic on v2 requests; otherwise must be zero)
 //	4   4    payload length in bytes
 //	8   4    operation count
 //
 // Request payload: Ops() operations, each an 8-byte header followed by the
 // key bytes and then the value bytes, unpadded:
 //
-//	0   1    opcode (OpGet, OpSet, OpDelete)
+//	0   1    opcode (OpGet .. OpTTL; v1 frames may carry only OpGet/OpSet/OpDelete)
 //	1   1    reserved (zero)
 //	2   2    key length
-//	4   4    value length (zero unless OpSet)
+//	4   4    value length (see the per-opcode rules in docs/COMMANDS.md)
 //
 // Response payload: one 8-byte result header per operation, in request
-// order, followed by the value bytes for StatusValue results:
+// order, followed by the value bytes for value-carrying statuses:
 //
 //	0   1    status
 //	1   3    reserved (zero)
-//	4   4    value length (zero unless StatusValue)
+//	4   4    value length (see the per-status rules below)
 const (
 	// HeaderLen is the fixed frame-header size for both directions.
 	HeaderLen = 12
@@ -40,8 +40,24 @@ const (
 	MagicRequest = 0xF2
 	// MagicResponse is a response frame's first byte.
 	MagicResponse = 0xF3
-	// Version is the only protocol version this codec speaks.
-	Version = 1
+	// Version is the newest protocol version this codec speaks (and the
+	// version builders emit by default). Version 2 added the structure
+	// opcodes (OpScan..OpTTL), their statuses, and FlagAtomic.
+	Version = 2
+	// VersionMin is the oldest version the codec still accepts: a v1 peer's
+	// frames decode unchanged, and responses echo the request's version.
+	VersionMin = 1
+)
+
+// Header flags. v1 frames must carry zero flags; unknown bits are rejected
+// on every version.
+const (
+	// FlagAtomic (v2 requests only) asks the server to execute the frame as
+	// one atomic multi-key batch: every key must route to one shard, and the
+	// whole frame either executes under that shard's single
+	// checkpoint-prevent window or is refused (every op answers
+	// StatusRefused) without executing anything.
+	FlagAtomic = 0x0001
 )
 
 // Operation codes.
@@ -52,21 +68,58 @@ const (
 	OpSet = 0x02
 	// OpDelete removes a key; its value length must be zero.
 	OpDelete = 0x03
+	// OpScan (v2) range-scans the ordered index: key = start key, value =
+	// [u32 limit][end-key bytes] (an empty end key means unbounded).
+	OpScan = 0x04
+	// OpQPush (v2) appends the value to the named queue (key = queue name).
+	OpQPush = 0x05
+	// OpQPop (v2) pops the named queue's head; its value length must be zero.
+	OpQPop = 0x06
+	// OpLAppend (v2) appends the value as a record to the named log.
+	OpLAppend = 0x07
+	// OpLRange (v2) reads log records: key = log name, value =
+	// [u64 from][u32 count] (exactly 12 bytes).
+	OpLRange = 0x08
+	// OpExpire (v2) sets a key's TTL: value = [u64 milliseconds] (exactly 8
+	// bytes; zero clears the TTL).
+	OpExpire = 0x09
+	// OpTTL (v2) reads a key's remaining TTL; its value length must be zero.
+	OpTTL = 0x0A
 )
 
 // Result status codes.
 const (
-	// StatusStored acknowledges an OpSet.
+	// StatusStored acknowledges an OpSet, OpQPush or OpExpire that applied.
 	StatusStored = 0x01
-	// StatusValue is an OpGet hit; the result carries the value.
+	// StatusValue is an OpGet or OpQPop hit; the result carries the value.
 	StatusValue = 0x02
-	// StatusNotFound is an OpGet or OpDelete miss; no value follows.
+	// StatusNotFound is a miss (OpGet, OpDelete, OpExpire, OpTTL).
 	StatusNotFound = 0x03
 	// StatusDeleted acknowledges an OpDelete that removed a live key.
 	StatusDeleted = 0x04
-	// StatusTooLarge refuses an OpSet whose value exceeds the server's
-	// limit. The frame's remaining operations still execute.
+	// StatusTooLarge refuses an OpSet/OpQPush/OpLAppend whose value exceeds
+	// the server's limit. The frame's remaining operations still execute.
 	StatusTooLarge = 0x05
+	// StatusEntries (v2) answers OpScan and OpLRange: the value is an
+	// entries blob — [u32 count] then per entry [u16 klen][u32 vlen][key
+	// bytes][value bytes] (LRange entries carry empty keys). Parse it with
+	// ParseEntries.
+	StatusEntries = 0x06
+	// StatusAppended (v2) answers OpLAppend: the value is the new record's
+	// [u64 index].
+	StatusAppended = 0x07
+	// StatusTTL (v2) answers OpTTL for a live key: the value is the
+	// remaining [u64 milliseconds] (zero = the key has no expiry).
+	StatusTTL = 0x08
+	// StatusEmpty (v2) is an OpQPop on an empty queue.
+	StatusEmpty = 0x09
+	// StatusWrongType (v2) is a structure op whose name is already bound to
+	// a different structure kind.
+	StatusWrongType = 0x0A
+	// StatusRefused (v2) answers every op of an atomic frame the server
+	// refused whole (cross-shard keys, or structures disabled); nothing
+	// executed.
+	StatusRefused = 0x0B
 )
 
 // Protocol limits. A decoder rejects any frame that exceeds them, so a
@@ -78,7 +131,9 @@ const (
 	// MaxValueLen bounds one value. It is deliberately above the server's
 	// application-level value limit (1 MiB): a too-large application value
 	// still decodes and draws a per-op StatusTooLarge, while only a frame
-	// beyond this bound kills the connection.
+	// beyond this bound kills the connection. It also bounds a
+	// StatusEntries blob — the server truncates a scan/lrange response at
+	// this budget (see docs/COMMANDS.md).
 	MaxValueLen = 4 << 20
 	// MaxOps bounds the operations in one frame.
 	MaxOps = 1 << 12
@@ -98,17 +153,19 @@ var (
 	ErrMagic = errors.New("wire: bad magic")
 	// ErrVersion is an unsupported protocol version.
 	ErrVersion = errors.New("wire: unsupported version")
-	// ErrFlags is a header with unknown flag bits set.
+	// ErrFlags is a header with unknown flag bits set (or FlagAtomic on a
+	// version/direction that does not admit it).
 	ErrFlags = errors.New("wire: unknown flags")
 	// ErrTooBig is a header length or count beyond the protocol limits.
 	ErrTooBig = errors.New("wire: frame exceeds protocol limits")
 	// ErrTruncated is a payload shorter than its header promises, or an
 	// operation that runs past the end of the payload.
 	ErrTruncated = errors.New("wire: truncated frame")
-	// ErrOpcode is an operation with an unknown opcode or a non-zero
-	// value length on an opcode that must not carry one.
+	// ErrOpcode is an operation with an unknown opcode (for its version) or
+	// a value length violating the opcode's rules.
 	ErrOpcode = errors.New("wire: bad opcode")
-	// ErrStatus is a result with an unknown status code.
+	// ErrStatus is a result with an unknown status code (for its version)
+	// or a value length violating the status's rules.
 	ErrStatus = errors.New("wire: bad status")
 )
 
@@ -138,9 +195,20 @@ func le16(b []byte) uint16 {
 	return uint16(b[0]) | uint16(b[1])<<8
 }
 
+// le64 decodes a little-endian uint64 at b[0:8].
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(le32(b)) | uint64(le32(b[4:]))<<32
+}
+
 // put32 appends v little-endian.
 func put32(b []byte, v uint32) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// put64 appends v little-endian.
+func put64(b []byte, v uint64) []byte {
+	return put32(put32(b, uint32(v)), uint32(v>>32))
 }
 
 // patch32 overwrites b[off:off+4] with v little-endian.
@@ -152,27 +220,35 @@ func patch32(b []byte, off int, v uint32) {
 }
 
 // checkHeader validates a 12-byte header against the expected magic and
-// returns the payload length and op count.
-func checkHeader(hdr []byte, magic byte) (payload, ops int, err error) {
+// returns the payload length, op count, version and flags. Flag validation is
+// version- and direction-aware: FlagAtomic is admitted only on v2 request
+// headers; every other bit (and any v1 flag) is rejected.
+func checkHeader(hdr []byte, magic byte) (payload, ops int, ver byte, flags uint16, err error) {
 	if hdr[0] != magic {
-		return 0, 0, fmt.Errorf("%w: 0x%02x (want 0x%02x)", ErrMagic, hdr[0], magic)
+		return 0, 0, 0, 0, fmt.Errorf("%w: 0x%02x (want 0x%02x)", ErrMagic, hdr[0], magic)
 	}
-	if hdr[1] != Version {
-		return 0, 0, fmt.Errorf("%w: %d", ErrVersion, hdr[1])
+	ver = hdr[1]
+	if ver < VersionMin || ver > Version {
+		return 0, 0, 0, 0, fmt.Errorf("%w: %d", ErrVersion, ver)
 	}
-	if f := le16(hdr[2:]); f != 0 {
-		return 0, 0, fmt.Errorf("%w: 0x%04x", ErrFlags, f)
+	flags = le16(hdr[2:])
+	allowed := uint16(0)
+	if ver >= 2 && magic == MagicRequest {
+		allowed = FlagAtomic
+	}
+	if flags&^allowed != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: 0x%04x", ErrFlags, flags)
 	}
 	payload = int(le32(hdr[4:]))
 	ops = int(le32(hdr[8:]))
 	if payload > MaxPayload || ops > MaxOps {
-		return 0, 0, fmt.Errorf("%w: payload %d, ops %d", ErrTooBig, payload, ops)
+		return 0, 0, 0, 0, fmt.Errorf("%w: payload %d, ops %d", ErrTooBig, payload, ops)
 	}
 	if payload < ops*OpHeaderLen {
-		return 0, 0, fmt.Errorf("%w: payload %d cannot hold %d op headers", ErrTruncated, payload, ops)
+		return 0, 0, 0, 0, fmt.Errorf("%w: payload %d cannot hold %d op headers", ErrTruncated, payload, ops)
 	}
 	if ops == 0 && payload != 0 {
-		return 0, 0, fmt.Errorf("%w: %d payload bytes with no ops", ErrTruncated, payload)
+		return 0, 0, 0, 0, fmt.Errorf("%w: %d payload bytes with no ops", ErrTruncated, payload)
 	}
-	return payload, ops, nil
+	return payload, ops, ver, flags, nil
 }

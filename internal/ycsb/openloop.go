@@ -9,9 +9,11 @@ import (
 
 // BatchOp is one operation of a request batch, chosen by the generator.
 type BatchOp struct {
-	Read  bool
-	Key   string
-	Value []byte // nil for reads
+	Read      bool
+	Scan      bool // range scan starting at Key (workload E)
+	ScanLimit int  // maximum entries for a scan
+	Key       string
+	Value     []byte // nil for reads and scans
 }
 
 // BatchExecutor abstracts a pipelined transport under test: execute a whole
@@ -40,6 +42,7 @@ type OpenResult struct {
 	Name           string
 	Operations     uint64
 	Reads, Updates uint64
+	Scans          uint64
 	Errors         uint64
 	Duration       time.Duration
 	IntendedRate   float64 // ops/sec the generator aimed for (0 = closed loop)
@@ -64,13 +67,17 @@ type genState struct {
 	keys    []string
 	vals    [][]byte
 	read    float64
+	scan    float64
+	maxScan int
 }
 
 func newGenState(w Workload, cli int, keys []string) *genState {
 	g := &genState{
-		rng:  rand.New(rand.NewSource(w.Seed + int64(cli)*31337)),
-		keys: keys,
-		read: w.ReadProp,
+		rng:     rand.New(rand.NewSource(w.Seed + int64(cli)*31337)),
+		keys:    keys,
+		read:    w.ReadProp,
+		scan:    w.ScanProp,
+		maxScan: max(w.MaxScanLen, 1),
 	}
 	if w.Zipfian {
 		z := NewZipf(uint64(w.Records), w.Seed+int64(cli))
@@ -87,14 +94,20 @@ func newGenState(w Workload, cli int, keys []string) *genState {
 	return g
 }
 
-// fill chooses the next batch of operations in place.
-func (g *genState) fill(ops []BatchOp, reads, updates *uint64) {
+// fill chooses the next batch of operations in place. The scan proportion is
+// carved out first (workload E), then the remainder splits read/update.
+func (g *genState) fill(ops []BatchOp, reads, updates, scans *uint64) {
 	for i := range ops {
 		k := g.keys[g.chooser()]
-		if g.rng.Float64() < g.read {
+		p := g.rng.Float64()
+		switch {
+		case p < g.scan:
+			ops[i] = BatchOp{Scan: true, Key: k, ScanLimit: 1 + g.rng.Intn(g.maxScan)}
+			*scans++
+		case p < g.scan+(1-g.scan)*g.read:
 			ops[i] = BatchOp{Read: true, Key: k}
 			*reads++
-		} else {
+		default:
 			ops[i] = BatchOp{Key: k, Value: g.vals[int(g.rng.Int31())&15]}
 			*updates++
 		}
@@ -125,6 +138,7 @@ func runBatched(o OpenLoop, ex BatchExecutor, openLoop bool) (OpenResult, error)
 	type clientTally struct {
 		hist           LatencyHist
 		reads, updates uint64
+		scans          uint64
 		errors         uint64
 	}
 	tallies := make([]*clientTally, o.Clients)
@@ -155,7 +169,7 @@ func runBatched(o OpenLoop, ex BatchExecutor, openLoop bool) (OpenResult, error)
 				} else {
 					issueAt = time.Now()
 				}
-				g.fill(ops, &t.reads, &t.updates)
+				g.fill(ops, &t.reads, &t.updates, &t.scans)
 				if err := ex.ExecBatch(cli, ops); err != nil {
 					t.errors += uint64(len(ops))
 					continue
@@ -183,9 +197,10 @@ func runBatched(o OpenLoop, ex BatchExecutor, openLoop bool) (OpenResult, error)
 		res.Hist.Merge(&t.hist)
 		res.Reads += t.reads
 		res.Updates += t.updates
+		res.Scans += t.scans
 		res.Errors += t.errors
 	}
-	res.Operations = res.Reads + res.Updates - res.Errors
+	res.Operations = res.Reads + res.Updates + res.Scans - res.Errors
 	res.P50 = res.Hist.Quantile(0.50)
 	res.P99 = res.Hist.Quantile(0.99)
 	res.P999 = res.Hist.Quantile(0.999)

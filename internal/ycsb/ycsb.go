@@ -20,6 +20,8 @@ type Workload struct {
 	Records    int     // key space size (load phase inserts all of them)
 	Operations int     // run phase total ops
 	ReadProp   float64 // proportion of reads; rest are updates
+	ScanProp   float64 // proportion of range scans (workload E); carved out first
+	MaxScanLen int     // scan length is uniform in [1, MaxScanLen]
 	ValueSize  int
 	Zipfian    bool // zipfian vs uniform key choice
 	Clients    int
@@ -40,6 +42,18 @@ func StandardWorkloads(records, operations, valueSize, clients int) []Workload {
 		mk("read-intensive (90R/10W)", 0.9),
 		mk("balanced (50R/50W)", 0.5),
 		mk("write-intensive (10R/90W)", 0.1),
+	}
+}
+
+// WorkloadE returns the scan-heavy mix of YCSB workload E: 95% short range
+// scans whose start key is zipfian and whose length is uniform in [1, 100],
+// 5% writes. Scans need an ordered index behind the executor (the structures
+// store's SCAN), so only the batch runners (RunBatches/RunOpen) issue them.
+func WorkloadE(records, operations, valueSize, clients int) Workload {
+	return Workload{
+		Name: "scan-heavy E (95S/5W)", Records: records, Operations: operations,
+		ScanProp: 0.95, MaxScanLen: 100, ValueSize: valueSize, Zipfian: true,
+		Clients: clients, Seed: 42,
 	}
 }
 
